@@ -1,0 +1,62 @@
+//! Figure 16 — GPU power usage over a day: the tidal pattern and the
+//! constant-power-contract scheduling policy.
+//!
+//! Paper: inference power is high during the day and declines between
+//! 10 p.m. and 8 a.m.; training is scheduled into the trough (cheap night
+//! rentals) to keep total draw constant.
+
+use astral_bench::{banner, footer};
+use astral_power::DailyLoadModel;
+
+fn main() {
+    banner(
+        "Figure 16: daily GPU power (tidal pattern)",
+        "inference tide: high day, low 10pm-8am; night-scheduled training \
+         flattens total draw (constant-power contract)",
+    );
+
+    let tidal = DailyLoadModel {
+        schedule_training_at_night: false,
+        ..DailyLoadModel::default()
+    };
+    let flat = DailyLoadModel::default();
+
+    println!(
+        "{:<6}{:>14}{:>14}{:>14}",
+        "hour", "inference MW", "training MW", "total MW"
+    );
+    for (h, inf, train, total) in flat.day_profile() {
+        let bars = (total / flat.capacity_w * 30.0) as usize;
+        println!(
+            "{:<6}{:>14.1}{:>14.1}{:>14.1}  |{}",
+            format!("{h:02}:00"),
+            inf / 1e6,
+            train / 1e6,
+            total / 1e6,
+            "#".repeat(bars)
+        );
+    }
+
+    println!(
+        "\npeak:trough ratio — inference only {:.2}, with night training {:.2}",
+        tidal.tidal_ratio(),
+        flat.tidal_ratio()
+    );
+
+    footer(&[
+        (
+            "tidal pattern",
+            format!(
+                "paper: high day / low 10pm-8am | inference-only ratio {:.2}",
+                tidal.tidal_ratio()
+            ),
+        ),
+        (
+            "scheduling policy",
+            format!(
+                "paper: stable draw via night training | flattened ratio {:.2}",
+                flat.tidal_ratio()
+            ),
+        ),
+    ]);
+}

@@ -1,0 +1,31 @@
+//! # astral-bench — the figure/table regeneration harness
+//!
+//! One binary per figure and table of the paper's evaluation; each prints
+//! the same rows/series the paper reports plus a `paper vs measured`
+//! footer. Run them all with:
+//!
+//! ```sh
+//! for f in fig02 fig03 fig04 fig05 fig06 fig07 fig09 fig10 fig12 fig13 \
+//!          fig14 fig15 fig16 fig17 fig18 fig19 table1 appc; do
+//!   cargo run --release -p astral-bench --bin ${f}* ;
+//! done
+//! ```
+//!
+//! Criterion micro-benchmarks (event queue, routing, fairness, collective
+//! expansion, Seer forecast latency, analyzer) live in `benches/`.
+
+/// Print a header for a figure harness.
+pub fn banner(id: &str, claim: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("paper claim: {claim}");
+    println!("================================================================\n");
+}
+
+/// Print the paper-vs-measured footer.
+pub fn footer(rows: &[(&str, String)]) {
+    println!("\n--- paper vs reproduction ---");
+    for (k, v) in rows {
+        println!("  {k}: {v}");
+    }
+}

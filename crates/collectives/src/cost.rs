@@ -1,0 +1,146 @@
+//! Analytic (α–β) cost models for collective operations.
+//!
+//! These are the classical bandwidth-optimal collective costs. Seer's basic
+//! modeling (paper Appendix E) divides tensor volume by bandwidth exactly
+//! this way; its self-correction then replaces the *theoretical* bandwidth
+//! with a measured effective bandwidth — these functions accept whatever
+//! bandwidth the caller supplies, so both modes use the same formulas.
+//!
+//! Conventions: `n` is the group size, `bytes` the per-rank buffer size
+//! (AllReduce semantics: every rank holds `bytes` and ends with the reduced
+//! `bytes`), `bw` the per-rank injection bandwidth in bits/s, and `alpha`
+//! the per-message latency in seconds.
+
+/// Time for a ring ReduceScatter: each rank ships `(n-1)/n · bytes`.
+pub fn reduce_scatter(n: usize, bytes: u64, bw: f64, alpha: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let volume = (n - 1) as f64 / n as f64 * bytes as f64 * 8.0;
+    volume / bw + (n - 1) as f64 * alpha
+}
+
+/// Time for a ring AllGather: identical volume to ReduceScatter.
+pub fn all_gather(n: usize, bytes: u64, bw: f64, alpha: f64) -> f64 {
+    reduce_scatter(n, bytes, bw, alpha)
+}
+
+/// Time for a ring AllReduce: ReduceScatter followed by AllGather,
+/// `2(n-1)/n · bytes` on the wire.
+pub fn all_reduce(n: usize, bytes: u64, bw: f64, alpha: f64) -> f64 {
+    reduce_scatter(n, bytes, bw, alpha) + all_gather(n, bytes, bw, alpha)
+}
+
+/// Time for a pairwise AllToAll where each rank holds `bytes` destined
+/// uniformly to all ranks: it ships `(n-1)/n · bytes` over `n-1` steps.
+pub fn all_to_all(n: usize, bytes: u64, bw: f64, alpha: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let volume = (n - 1) as f64 / n as f64 * bytes as f64 * 8.0;
+    volume / bw + (n - 1) as f64 * alpha
+}
+
+/// Time for a point-to-point send of `bytes`.
+pub fn send_recv(bytes: u64, bw: f64, alpha: f64) -> f64 {
+    bytes as f64 * 8.0 / bw + alpha
+}
+
+/// Time for a ring broadcast of `bytes` from one root to `n−1` peers
+/// (pipelined: asymptotically one traversal).
+pub fn broadcast(n: usize, bytes: u64, bw: f64, alpha: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / bw + (n - 1) as f64 * alpha
+}
+
+/// Hierarchical AllReduce over HB domains of size `local` within a group of
+/// `n` ranks: local ReduceScatter (NVLink), inter-domain AllReduce over
+/// `n/local` leaders per shard (network), local AllGather (NVLink).
+///
+/// This is the NCCL-style two-level algorithm Astral's same-rail fabric is
+/// built to serve: the network stage is entirely same-rail.
+pub fn hierarchical_all_reduce(
+    n: usize,
+    local: usize,
+    bytes: u64,
+    net_bw: f64,
+    nvlink_bw: f64,
+    alpha: f64,
+) -> f64 {
+    assert!(local >= 1 && n % local.max(1) == 0);
+    if n <= 1 {
+        return 0.0;
+    }
+    if local <= 1 {
+        return all_reduce(n, bytes, net_bw, alpha);
+    }
+    let inter = n / local;
+    // Each of the `local` rails carries an independent inter-domain
+    // AllReduce over its shard of bytes/local.
+    let local_rs = reduce_scatter(local, bytes, nvlink_bw, alpha / 10.0);
+    let inter_ar = all_reduce(inter, bytes / local as u64, net_bw, alpha);
+    let local_ag = all_gather(local, bytes, nvlink_bw, alpha / 10.0);
+    local_rs + inter_ar + local_ag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: f64 = 1e9;
+
+    #[test]
+    fn allreduce_is_twice_reduce_scatter() {
+        let (n, b, bw, a) = (8, 1 << 30, 400.0 * GBPS, 5e-6);
+        assert!(
+            (all_reduce(n, b, bw, a) - 2.0 * reduce_scatter(n, b, bw, a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn trivial_groups_cost_nothing() {
+        assert_eq!(all_reduce(1, 1 << 20, GBPS, 1e-6), 0.0);
+        assert_eq!(all_to_all(1, 1 << 20, GBPS, 1e-6), 0.0);
+        assert_eq!(broadcast(1, 1 << 20, GBPS, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn allreduce_volume_factor() {
+        // With alpha = 0, time = 2(n-1)/n · B·8/bw.
+        let t = all_reduce(4, 1_000_000, GBPS, 0.0);
+        let expected = 2.0 * 3.0 / 4.0 * 8_000_000.0 / GBPS;
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_scales_inversely_with_bandwidth() {
+        let t1 = all_to_all(16, 1 << 26, 200.0 * GBPS, 0.0);
+        let t2 = all_to_all(16, 1 << 26, 400.0 * GBPS, 0.0);
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_dominates_small_messages() {
+        let t = all_reduce(512, 8, 400.0 * GBPS, 5e-6);
+        // 2·511 messages of latency each ≈ 5.11 ms; wire time negligible.
+        assert!(t > 5e-3 && t < 6e-3);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_when_nvlink_is_faster() {
+        let (n, local, b) = (64, 8, 1u64 << 30);
+        let flat = all_reduce(n, b, 400.0 * GBPS, 5e-6);
+        let hier = hierarchical_all_reduce(n, local, b, 400.0 * GBPS, 1800.0 * GBPS, 5e-6);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn hierarchical_degenerates_to_flat() {
+        let (n, b) = (16, 1u64 << 24);
+        let flat = all_reduce(n, b, 400.0 * GBPS, 5e-6);
+        let h = hierarchical_all_reduce(n, 1, b, 400.0 * GBPS, 1800.0 * GBPS, 5e-6);
+        assert!((flat - h).abs() < 1e-12);
+    }
+}

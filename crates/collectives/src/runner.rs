@@ -1,0 +1,538 @@
+//! Execute collective schedules on the flow-level network simulator.
+//!
+//! [`CollectiveRunner`] maps rank-level [`Schedule`]s onto a topology:
+//! transfers inside one NVLink (HB) domain ride the intra-host interconnect
+//! analytically; everything else becomes RDMA flows in [`NetworkSim`].
+//! Two NCCL behaviours that Astral's fabric is designed around are modeled
+//! explicitly:
+//!
+//! * **PXN rail alignment** — a transfer to a different rail is forwarded
+//!   over NVLink to the local GPU on the *destination's* rail and injected
+//!   from that NIC, keeping the network hop same-rail (the paper's
+//!   "NVLink-optimized network communication" [2,46] that makes same-rail
+//!   traffic dominate even all-to-all).
+//! * **Hierarchical (two-level) AllReduce** — local ReduceScatter over
+//!   NVLink, per-rail inter-host AllReduce, local AllGather.
+
+use crate::plan::{
+    pairwise_all_to_all, ring_all_gather, ring_all_reduce, ring_broadcast,
+    ring_reduce_scatter, send_recv, Schedule, Transfer,
+};
+use astral_net::{FlowSpec, FlowState, NetConfig, NetworkSim, QpContext, QpId};
+use astral_sim::SimDuration;
+use astral_topo::{GpuId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Network simulator configuration.
+    pub net: NetConfig,
+    /// Enable PXN rail-aligned forwarding through NVLink.
+    pub pxn: bool,
+    /// Per-step launch overhead (kernel + proxy scheduling).
+    pub step_overhead: SimDuration,
+    /// Job id recorded in QP contexts (for the monitor's correlation).
+    pub job: u32,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            net: NetConfig::default(),
+            pxn: true,
+            step_overhead: SimDuration::from_micros(8),
+            job: 0,
+        }
+    }
+}
+
+/// Outcome of one collective execution.
+#[derive(Debug, Clone)]
+pub struct CollectiveResult {
+    /// Wall-clock duration of the whole collective.
+    pub duration: SimDuration,
+    /// Duration of each step.
+    pub step_durations: Vec<SimDuration>,
+    /// Bytes that crossed the network fabric.
+    pub network_bytes: u64,
+    /// Bytes that stayed on NVLink.
+    pub nvlink_bytes: u64,
+    /// Number of flows that failed (path death).
+    pub failed_flows: usize,
+}
+
+impl CollectiveResult {
+    /// Algorithm bandwidth: per-rank buffer size over duration.
+    pub fn algbw_bps(&self, bytes_per_rank: u64) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            bytes_per_rank as f64 * 8.0 / secs
+        }
+    }
+}
+
+/// Drives collective schedules over a borrowed topology.
+pub struct CollectiveRunner<'a> {
+    sim: NetworkSim<'a>,
+    cfg: RunnerConfig,
+    qp_cache: HashMap<(NodeId, NodeId), QpId>,
+    group_ctr: u32,
+}
+
+impl<'a> CollectiveRunner<'a> {
+    /// New runner over `topo`.
+    pub fn new(topo: &'a Topology, cfg: RunnerConfig) -> Self {
+        CollectiveRunner {
+            sim: NetworkSim::new(topo, cfg.net),
+            cfg,
+            qp_cache: HashMap::new(),
+            group_ctr: 0,
+        }
+    }
+
+    /// The underlying network simulator (telemetry access).
+    pub fn sim(&self) -> &NetworkSim<'a> {
+        &self.sim
+    }
+
+    /// Mutable access (failure injection between collectives).
+    pub fn sim_mut(&mut self) -> &mut NetworkSim<'a> {
+        &mut self.sim
+    }
+
+    /// Ring AllReduce over `group`, hierarchical when HB domains allow.
+    pub fn all_reduce(&mut self, group: &[GpuId], bytes: u64) -> CollectiveResult {
+        let local = self.uniform_hb_domain_size(group);
+        if let Some(local) = local {
+            if local > 1 && group.len() > local {
+                return self.hierarchical_all_reduce(group, bytes, local);
+            }
+        }
+        let s = ring_all_reduce(group.len(), bytes);
+        self.run_schedule(group, &s)
+    }
+
+    /// Flat (never hierarchical) ring AllReduce — the ablation baseline.
+    pub fn all_reduce_flat(&mut self, group: &[GpuId], bytes: u64) -> CollectiveResult {
+        let s = ring_all_reduce(group.len(), bytes);
+        self.run_schedule(group, &s)
+    }
+
+    /// Ring ReduceScatter.
+    pub fn reduce_scatter(&mut self, group: &[GpuId], bytes: u64) -> CollectiveResult {
+        let s = ring_reduce_scatter(group.len(), bytes);
+        self.run_schedule(group, &s)
+    }
+
+    /// Ring AllGather.
+    pub fn all_gather(&mut self, group: &[GpuId], bytes: u64) -> CollectiveResult {
+        let s = ring_all_gather(group.len(), bytes);
+        self.run_schedule(group, &s)
+    }
+
+    /// Pairwise AllToAll (EP dispatch/combine traffic).
+    pub fn all_to_all(&mut self, group: &[GpuId], bytes: u64) -> CollectiveResult {
+        let s = pairwise_all_to_all(group.len(), bytes);
+        self.run_schedule(group, &s)
+    }
+
+    /// Pipelined broadcast from `group[0]`.
+    pub fn broadcast(&mut self, group: &[GpuId], bytes: u64) -> CollectiveResult {
+        let s = ring_broadcast(group.len(), bytes, 8);
+        self.run_schedule(group, &s)
+    }
+
+    /// Point-to-point send (PP stage boundary).
+    pub fn send(&mut self, src: GpuId, dst: GpuId, bytes: u64) -> CollectiveResult {
+        let s = send_recv(bytes);
+        self.run_schedule(&[src, dst], &s)
+    }
+
+    /// Two-level AllReduce: NVLink ReduceScatter, per-local-index inter-host
+    /// AllReduce (same-rail when ranks are rail-aligned), NVLink AllGather.
+    pub fn hierarchical_all_reduce(
+        &mut self,
+        group: &[GpuId],
+        bytes: u64,
+        local: usize,
+    ) -> CollectiveResult {
+        let n = group.len();
+        assert!(n % local == 0 && local > 1);
+        let domains = n / local;
+
+        // Phase 1: ReduceScatter inside each HB domain, all domains at once.
+        let mut phase1 = merge_parallel(
+            (0..domains)
+                .map(|d| {
+                    let map: Vec<usize> = (0..local).map(|i| d * local + i).collect();
+                    (ring_reduce_scatter(local, bytes), map)
+                })
+                .collect(),
+        );
+        // Phase 2: inter-domain AllReduce per local index, concurrent.
+        let phase2 = merge_parallel(
+            (0..local)
+                .map(|i| {
+                    let map: Vec<usize> = (0..domains).map(|d| d * local + i).collect();
+                    (ring_all_reduce(domains, bytes / local as u64), map)
+                })
+                .collect(),
+        );
+        // Phase 3: AllGather inside each domain.
+        let phase3 = merge_parallel(
+            (0..domains)
+                .map(|d| {
+                    let map: Vec<usize> = (0..local).map(|i| d * local + i).collect();
+                    (ring_all_gather(local, bytes), map)
+                })
+                .collect(),
+        );
+        phase1.steps.extend(phase2.steps);
+        phase1.steps.extend(phase3.steps);
+        self.run_schedule(group, &phase1)
+    }
+
+    /// Execute a rank-level schedule on `group`.
+    pub fn run_schedule(&mut self, group: &[GpuId], schedule: &Schedule) -> CollectiveResult {
+        let topo = self.sim.topology();
+        let hb = topo.hb_domain();
+        let group_id = self.group_ctr;
+        self.group_ctr += 1;
+
+        let start = self.sim.now();
+        let mut virtual_now = start;
+        let mut step_durations = Vec::with_capacity(schedule.steps.len());
+        let mut network_bytes = 0u64;
+        let mut nvlink_bytes = 0u64;
+        let mut failed = 0usize;
+
+        for step in &schedule.steps {
+            let step_start = virtual_now;
+            // NVLink load per GPU (egress and ingress).
+            let mut nv_out: HashMap<GpuId, u64> = HashMap::new();
+            let mut nv_in: HashMap<GpuId, u64> = HashMap::new();
+            let mut flow_ids = Vec::new();
+
+            for &Transfer { src, dst, bytes } in step {
+                if bytes == 0 || src == dst {
+                    continue;
+                }
+                let (sg, dg) = (group[src], group[dst]);
+                let topo = self.sim.topology();
+                if topo.same_hb_domain(sg, dg) {
+                    *nv_out.entry(sg).or_insert(0) += bytes;
+                    *nv_in.entry(dg).or_insert(0) += bytes;
+                    nvlink_bytes += bytes;
+                    continue;
+                }
+                // Network transfer: pick injection NIC.
+                let (src_nic, dst_nic, relay_nvlink) = self.plan_nics(sg, dg);
+                if relay_nvlink {
+                    // PXN forwarding consumes NVLink at the source.
+                    *nv_out.entry(sg).or_insert(0) += bytes;
+                    nvlink_bytes += bytes;
+                }
+                let qp = self.qp_for(src_nic, dst_nic, group_id, sg, dg);
+                let id = self
+                    .sim
+                    .inject_at(
+                        step_start,
+                        FlowSpec {
+                            qp,
+                            bytes,
+                            weight: 1.0,
+                        },
+                    )
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "no route {sg}→{dg} even with PXN on {}",
+                            self.sim.topology().arch()
+                        )
+                    });
+                network_bytes += bytes;
+                flow_ids.push(id);
+            }
+
+            self.sim.run_until_idle();
+            let net_end = if flow_ids.is_empty() {
+                step_start
+            } else {
+                flow_ids
+                    .iter()
+                    .map(|&id| {
+                        let st = self.sim.stats(id);
+                        if st.state == FlowState::Failed {
+                            failed += 1;
+                        }
+                        st.finish.unwrap_or(self.sim.now())
+                    })
+                    .max()
+                    .unwrap()
+            };
+
+            // NVLink time: the busiest GPU's port serializes its bytes.
+            let nv_worst = nv_out
+                .values()
+                .chain(nv_in.values())
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let nv_time = if nv_worst > 0 {
+                SimDuration::from_secs_f64(nv_worst as f64 * 8.0 / hb.bandwidth_bps)
+                    + hb.latency
+            } else {
+                SimDuration::ZERO
+            };
+
+            let net_time = net_end.saturating_since(step_start);
+            let step_dur = net_time.max(nv_time) + self.cfg.step_overhead;
+            step_durations.push(step_dur);
+            virtual_now = step_start + step_dur;
+        }
+
+        CollectiveResult {
+            duration: virtual_now.saturating_since(start),
+            step_durations,
+            network_bytes,
+            nvlink_bytes,
+            failed_flows: failed,
+        }
+    }
+
+    /// Decide injection NICs for a cross-domain transfer; returns
+    /// `(src_nic, dst_nic, used_pxn_relay)`.
+    fn plan_nics(&self, sg: GpuId, dg: GpuId) -> (NodeId, NodeId, bool) {
+        let topo = self.sim.topology();
+        let dst_nic = topo.gpu_nic(dg);
+        let (sr, dr) = (topo.gpu_rail(sg), topo.gpu_rail(dg));
+        let direct = topo.gpu_nic(sg);
+        if sr == dr {
+            return (direct, dst_nic, false);
+        }
+        let relay = {
+            // NIC of the source *host* on the destination's rail.
+            let host = topo.gpu_host(sg);
+            topo.host(host).nics[dr as usize]
+        };
+        if self.cfg.pxn {
+            return (relay, dst_nic, true);
+        }
+        // PXN off: go direct if the fabric can route cross-rail; otherwise
+        // fall back to the relay (rail-only has no choice).
+        let tuple = astral_net::FiveTuple::roce(
+            astral_net::ip_of_nic(direct),
+            astral_net::ip_of_nic(dst_nic),
+            49152,
+        );
+        if self.sim.route(direct, dst_nic, &tuple).is_some() {
+            (direct, dst_nic, false)
+        } else {
+            (relay, dst_nic, true)
+        }
+    }
+
+    fn qp_for(
+        &mut self,
+        src_nic: NodeId,
+        dst_nic: NodeId,
+        group: u32,
+        sg: GpuId,
+        dg: GpuId,
+    ) -> QpId {
+        if let Some(&qp) = self.qp_cache.get(&(src_nic, dst_nic)) {
+            return qp;
+        }
+        let qp = self.sim.register_qp_auto(
+            src_nic,
+            dst_nic,
+            QpContext::for_job(self.cfg.job, group, sg, dg),
+        );
+        self.qp_cache.insert((src_nic, dst_nic), qp);
+        qp
+    }
+
+    /// HB-domain size if every domain touched by `group` contributes the
+    /// same number of ranks (required for the two-level algorithm).
+    fn uniform_hb_domain_size(&self, group: &[GpuId]) -> Option<usize> {
+        let topo = self.sim.topology();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &g in group {
+            *counts.entry(topo.gpu_hb_domain(g)).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<usize> = counts.values().copied().collect();
+        sizes.dedup();
+        (sizes.len() == 1).then(|| sizes[0])
+    }
+}
+
+/// Merge sub-schedules that run concurrently, remapping each one's ranks
+/// through its rank map. Steps are zipped: step *k* of the merge is the
+/// union of every sub-schedule's step *k*.
+pub fn merge_parallel(parts: Vec<(Schedule, Vec<usize>)>) -> Schedule {
+    let max_steps = parts.iter().map(|(s, _)| s.steps.len()).max().unwrap_or(0);
+    let mut steps = vec![Vec::new(); max_steps];
+    for (schedule, map) in parts {
+        for (k, step) in schedule.steps.into_iter().enumerate() {
+            for t in step {
+                steps[k].push(Transfer {
+                    src: map[t.src],
+                    dst: map[t.dst],
+                    bytes: t.bytes,
+                });
+            }
+        }
+    }
+    Schedule { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astral_topo::{build_astral, build_rail_only, AstralParams};
+
+    fn topo() -> Topology {
+        build_astral(&AstralParams::sim_small())
+    }
+
+    fn rail0_group(topo: &Topology, hosts: usize) -> Vec<GpuId> {
+        (0..hosts)
+            .map(|h| GpuId((h * topo.rails() as usize) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn same_rail_allreduce_uses_no_nvlink() {
+        let t = topo();
+        let mut r = CollectiveRunner::new(&t, RunnerConfig::default());
+        let group = rail0_group(&t, 8);
+        let res = r.all_reduce_flat(&group, 64 << 20);
+        assert_eq!(res.nvlink_bytes, 0);
+        assert!(res.network_bytes > 0);
+        assert!(res.duration > SimDuration::ZERO);
+        assert_eq!(res.failed_flows, 0);
+    }
+
+    #[test]
+    fn allreduce_time_tracks_alpha_beta_model() {
+        let t = topo();
+        let mut r = CollectiveRunner::new(&t, RunnerConfig {
+            step_overhead: SimDuration::ZERO,
+            ..RunnerConfig::default()
+        });
+        let group = rail0_group(&t, 8);
+        let bytes = 512u64 << 20;
+        let res = r.all_reduce_flat(&group, bytes);
+        let model = crate::cost::all_reduce(8, bytes, 200e9, 0.0);
+        let measured = res.duration.as_secs_f64();
+        // The ring over dedicated 200G NIC ports should match the α–β
+        // model closely (chunked steps, no contention).
+        assert!(
+            (measured - model).abs() / model < 0.05,
+            "measured {measured} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn intra_host_allreduce_is_pure_nvlink() {
+        let t = topo();
+        let mut r = CollectiveRunner::new(&t, RunnerConfig::default());
+        // GPUs 0..4 share an HB domain in sim_small.
+        let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let res = r.all_reduce(&group, 1 << 20);
+        assert_eq!(res.network_bytes, 0);
+        assert!(res.nvlink_bytes > 0);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_on_multi_host_groups() {
+        let t = topo();
+        let bytes = 256u64 << 20;
+        // 8 hosts × full HB domains.
+        let group: Vec<GpuId> = (0..32).map(GpuId).collect();
+        let mut flat_runner = CollectiveRunner::new(&t, RunnerConfig::default());
+        let flat = flat_runner.all_reduce_flat(&group, bytes);
+        let mut hier_runner = CollectiveRunner::new(&t, RunnerConfig::default());
+        let hier = hier_runner.all_reduce(&group, bytes);
+        assert!(
+            hier.duration < flat.duration,
+            "hier {} vs flat {}",
+            hier.duration,
+            flat.duration
+        );
+        assert!(hier.nvlink_bytes > 0);
+    }
+
+    #[test]
+    fn pxn_keeps_cross_rail_traffic_same_rail() {
+        let t = topo();
+        // Group spanning two rails across two hosts.
+        let group = vec![GpuId(0), GpuId(1), GpuId(4), GpuId(5)];
+        let mut r = CollectiveRunner::new(&t, RunnerConfig::default());
+        let res = r.all_to_all(&group, 8 << 20);
+        assert!(res.network_bytes > 0);
+        // With PXN every network flow is rail-aligned: src/dst NIC rails
+        // match for every registered QP.
+        for rec in r.sim().telemetry().qp_info.values() {
+            let (s, d) = (rec.src_nic, rec.dst_nic);
+            let topo = r.sim().topology();
+            let rail_of = |nic| match topo.node(nic).kind {
+                astral_topo::NodeKind::Nic { rail, .. } => rail,
+                _ => unreachable!(),
+            };
+            assert_eq!(rail_of(s), rail_of(d), "PXN produced a cross-rail flow");
+        }
+    }
+
+    #[test]
+    fn rail_only_fabric_forces_pxn_fallback() {
+        let mut p = AstralParams::sim_small();
+        p.pods = 1;
+        let t = build_rail_only(&p);
+        let group = vec![GpuId(0), GpuId(1), GpuId(4), GpuId(5)];
+        // Even with PXN "off", the runner must fall back to NVLink relays
+        // because the fabric cannot route cross-rail.
+        let mut r = CollectiveRunner::new(
+            &t,
+            RunnerConfig {
+                pxn: false,
+                ..RunnerConfig::default()
+            },
+        );
+        let res = r.all_to_all(&group, 8 << 20);
+        assert_eq!(res.failed_flows, 0);
+        assert!(res.nvlink_bytes > 0, "relay traffic must ride NVLink");
+    }
+
+    #[test]
+    fn alltoall_volume_accounting() {
+        let t = topo();
+        let group = rail0_group(&t, 4);
+        let mut r = CollectiveRunner::new(&t, RunnerConfig::default());
+        let bytes = 4 << 20;
+        let res = r.all_to_all(&group, bytes);
+        // Pairwise a2a on one rail: all network, (n-1)/n·bytes per rank.
+        assert_eq!(res.nvlink_bytes, 0);
+        assert_eq!(res.network_bytes, 3 * (bytes / 4) * 4);
+    }
+
+    #[test]
+    fn send_recv_crosses_network_once() {
+        let t = topo();
+        let mut r = CollectiveRunner::new(&t, RunnerConfig::default());
+        let res = r.send(GpuId(0), GpuId(32), 1 << 20);
+        assert_eq!(res.network_bytes, 1 << 20);
+        assert_eq!(res.step_durations.len(), 1);
+    }
+
+    #[test]
+    fn merge_parallel_zips_steps() {
+        let a = ring_reduce_scatter(2, 100);
+        let b = ring_reduce_scatter(2, 100);
+        let merged = merge_parallel(vec![(a, vec![0, 1]), (b, vec![2, 3])]);
+        assert_eq!(merged.steps.len(), 1);
+        assert_eq!(merged.steps[0].len(), 4);
+    }
+}

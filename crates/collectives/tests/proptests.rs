@@ -1,0 +1,89 @@
+//! Property-based tests for collective schedules and cost models.
+
+use astral_collectives::{
+    cost, halving_doubling_all_reduce, pairwise_all_to_all, ring_all_gather,
+    ring_all_reduce, ring_broadcast, ring_reduce_scatter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ring AllReduce volume matches the α–β model exactly:
+    /// every rank sends 2(n−1)·(bytes/n).
+    #[test]
+    fn ring_allreduce_volume(n in 2usize..32, chunks in 1u64..64) {
+        let bytes = chunks * n as u64 * 1024; // divisible by n
+        let s = ring_all_reduce(n, bytes);
+        let per_rank = 2 * (n as u64 - 1) * (bytes / n as u64);
+        prop_assert!(s.sent_by_rank(n).iter().all(|&x| x == per_rank));
+        prop_assert!(s.received_by_rank(n).iter().all(|&x| x == per_rank));
+    }
+
+    /// No transfer ever sends to itself, and all ranks are in range.
+    #[test]
+    fn schedules_are_wellformed(n in 2usize..24, bytes in 1024u64..1_000_000) {
+        for s in [
+            ring_reduce_scatter(n, bytes),
+            ring_all_gather(n, bytes),
+            pairwise_all_to_all(n, bytes),
+            ring_broadcast(n, bytes, 4),
+        ] {
+            for t in s.steps.iter().flatten() {
+                prop_assert!(t.src < n && t.dst < n);
+                prop_assert!(t.src != t.dst);
+            }
+        }
+    }
+
+    /// Halving-doubling matches ring AllReduce volume for powers of two.
+    #[test]
+    fn hd_matches_ring_volume(log_n in 1u32..6, chunks in 1u64..32) {
+        let n = 1usize << log_n;
+        let bytes = chunks * n as u64 * 1024;
+        let hd = halving_doubling_all_reduce(n, bytes);
+        let ring = ring_all_reduce(n, bytes);
+        prop_assert_eq!(hd.total_bytes(), ring.total_bytes());
+        prop_assert_eq!(hd.steps.len(), 2 * log_n as usize);
+    }
+
+    /// All-to-all sends each rank's buffer exactly once except its own
+    /// slice.
+    #[test]
+    fn alltoall_conservation(n in 2usize..24, chunks in 1u64..64) {
+        let bytes = chunks * n as u64 * 512;
+        let s = pairwise_all_to_all(n, bytes);
+        let per_rank = (n as u64 - 1) * (bytes / n as u64);
+        prop_assert!(s.sent_by_rank(n).iter().all(|&x| x == per_rank));
+        prop_assert!(s.received_by_rank(n).iter().all(|&x| x == per_rank));
+    }
+
+    /// Cost models are monotone: more bytes or less bandwidth never
+    /// reduces time; larger groups never reduce all-to-all time.
+    #[test]
+    fn costs_are_monotone(
+        n in 2usize..64,
+        bytes in 1024u64..(1 << 30),
+        bw in 1e9f64..1e12,
+    ) {
+        let a = 5e-6;
+        prop_assert!(cost::all_reduce(n, bytes, bw, a) <= cost::all_reduce(n, bytes * 2, bw, a));
+        prop_assert!(cost::all_reduce(n, bytes, bw, a) >= cost::all_reduce(n, bytes, bw * 2.0, a));
+        prop_assert!(cost::all_to_all(n, bytes, bw, a) <= cost::all_to_all(n + 1, bytes, bw, a) + 1e-12);
+        prop_assert!(cost::reduce_scatter(n, bytes, bw, a) <= cost::all_reduce(n, bytes, bw, a));
+    }
+
+    /// Hierarchical AllReduce never loses to flat when NVLink is at least
+    /// as fast as the network.
+    #[test]
+    fn hierarchical_no_worse_than_flat(
+        log_local in 1u32..4,
+        log_domains in 1u32..4,
+        bytes in (1u64 << 20)..(1 << 28),
+    ) {
+        let local = 1usize << log_local;
+        let n = local << log_domains;
+        let bytes = bytes / n as u64 * n as u64;
+        let flat = cost::all_reduce(n, bytes, 400e9, 5e-6);
+        let hier = cost::hierarchical_all_reduce(n, local, bytes, 400e9, 1800e9, 5e-6);
+        prop_assert!(hier <= flat * 1.001, "hier {hier} flat {flat}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # astral-core — the Astral infrastructure facade
+//!
+//! Ties the substrates together the way the paper's Figure 1 does: the
+//! network architecture at the bottom, the monitoring system and Seer on
+//! top, plus the physical plant (power + cooling).
+//!
+//! * [`AstralInfrastructure`] — deploy a fabric, place jobs
+//!   (block-local or fragmented), evaluate training runs on the simulated
+//!   testbed, calibrate a Seer against it, and run fault-diagnosis
+//!   pipelines.
+//! * [`PlacementPolicy`] / [`place_job`] — the flexibility axis of §2.
+//!
+//! ```
+//! use astral_core::{AstralInfrastructure, PlacementPolicy};
+//! use astral_topo::AstralParams;
+//!
+//! let infra = AstralInfrastructure::deploy(AstralParams::sim_small());
+//! assert_eq!(infra.scale().gpus_total, 256);
+//! let placement = infra.place(64, PlacementPolicy::BlockLocal);
+//! assert_eq!(placement.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+mod infra;
+mod placement;
+
+pub use infra::{AstralInfrastructure, JobEvaluation};
+pub use placement::{place_job, pods_touched, PlacementPolicy};

@@ -1,0 +1,899 @@
+//! Operator-graph construction for training and inference iterations.
+//!
+//! Reproduces Seer's "operator dependency generation" (paper §4.3): a
+//! training iteration becomes a DAG of Table-1 operators per pipeline stage
+//! and microbatch, sequenced by the 1F1B (PipeDream-flush) schedule, wired
+//! across stages through PPSend/PPRecv pairs, and closed by the DP gradient
+//! synchronization dictated by the ZeRO mode. Inference builders produce
+//! prefill (compute-bound) and decode (memory-bound, KV-cache) graphs.
+
+use crate::config::ModelConfig;
+use crate::ops::{Collective, GroupKind, OpId, OpKind, OperatorGraph};
+use crate::parallel::{DpSync, ParallelismConfig};
+
+/// Inference phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferencePhase {
+    /// Prompt processing: all prompt tokens at once.
+    Prefill {
+        /// Prompt length in tokens.
+        prompt_len: u64,
+    },
+    /// Autoregressive generation: one token per sequence per step.
+    Decode {
+        /// Current context (KV cache) length.
+        context_len: u64,
+    },
+}
+
+/// Ids bracketing one (stage, microbatch, direction) op group.
+#[derive(Debug, Clone, Copy)]
+struct GroupEnds {
+    first: OpId,
+    last: OpId,
+    send: Option<OpId>,
+    recv: Option<OpId>,
+}
+
+/// Build the operator graph of one *training* iteration.
+///
+/// Devices are pipeline stages (TP peers execute the same timeline; TP
+/// communication appears as ops on the stage's stream; DP replicas are
+/// identical, so one pipeline is representative and DP sync ops carry the
+/// DP group size).
+pub fn build_training_iteration(model: &ModelConfig, par: &ParallelismConfig) -> OperatorGraph {
+    par.validate().expect("invalid parallelism config");
+    assert!(
+        model.layers % par.pp == 0,
+        "layers {} must divide evenly into pp {} stages",
+        model.layers,
+        par.pp
+    );
+    let pp = par.pp;
+    let m = par.microbatches as usize;
+    let mut g = OperatorGraph::new(pp);
+
+    // Per-(stage, mb) groups, generated independently, then wired.
+    let mut fwd = vec![vec![None; m]; pp as usize];
+    let mut bwd = vec![vec![None; m]; pp as usize];
+    for s in 0..pp {
+        for k in 0..m {
+            fwd[s as usize][k] = Some(emit_forward(&mut g, model, par, s, k));
+            bwd[s as usize][k] = Some(emit_backward(&mut g, model, par, s, k));
+        }
+    }
+
+    // Cross-stage wiring: recv ← matching send.
+    for s in 0..pp {
+        for k in 0..m {
+            if s > 0 {
+                if let (Some(r), Some(snd)) = (
+                    fwd[s as usize][k].as_ref().unwrap().recv,
+                    fwd[s as usize - 1][k].as_ref().unwrap().send,
+                ) {
+                    g.add_dep(r, snd);
+                }
+            }
+            if s + 1 < pp {
+                if let (Some(r), Some(snd)) = (
+                    bwd[s as usize][k].as_ref().unwrap().recv,
+                    bwd[s as usize + 1][k].as_ref().unwrap().send,
+                ) {
+                    g.add_dep(r, snd);
+                }
+            }
+        }
+    }
+
+    // 1F1B sequencing per stage: chain group k's first op after group k-1's
+    // last op in schedule order.
+    for s in 0..pp {
+        let warmup = ((pp - s - 1) as usize).min(m);
+        let mut order: Vec<GroupEnds> = Vec::with_capacity(2 * m);
+        for k in 0..warmup {
+            order.push(fwd[s as usize][k].unwrap());
+        }
+        for i in 0..(m - warmup) {
+            order.push(fwd[s as usize][warmup + i].unwrap());
+            order.push(bwd[s as usize][i].unwrap());
+        }
+        for k in (m - warmup)..m {
+            order.push(bwd[s as usize][k].unwrap());
+        }
+        for w in order.windows(2) {
+            g.add_dep(w[1].first, w[0].last);
+        }
+        // DP gradient synchronization: with overlap it launches alongside
+        // the final backward group (bucketed grad reduce); without, it
+        // waits for the backward to finish.
+        let tail = order.last().unwrap();
+        let anchor = if par.overlap_grad_sync { tail.first } else { tail.last };
+        emit_dp_sync(&mut g, model, par, s, anchor);
+    }
+
+    debug_assert_eq!(g.validate(), Ok(()));
+    g
+}
+
+/// Build the operator graph of one inference step (single pipeline, `tp`
+/// from `par`; `batch` sequences).
+pub fn build_inference(
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    batch: u64,
+    phase: InferencePhase,
+) -> OperatorGraph {
+    assert!(model.layers % par.pp == 0);
+    let mut g = OperatorGraph::new(par.pp);
+    let mut prev_send: Option<OpId> = None;
+    for s in 0..par.pp {
+        let ends = emit_inference_stage(&mut g, model, par, s, batch, phase);
+        if let (Some(r), Some(snd)) = (ends.recv, prev_send) {
+            g.add_dep(r, snd);
+        }
+        prev_send = ends.send;
+    }
+    debug_assert_eq!(g.validate(), Ok(()));
+    g
+}
+
+// ---------------------------------------------------------------------
+// Emission helpers
+// ---------------------------------------------------------------------
+
+/// Activation bytes crossing a pipeline boundary (one microbatch). The
+/// boundary tensor is sharded across the TP group (sequence parallelism),
+/// matching the paper's Eq. 5: `T_pp = b·s·h·f / tp / net_bw`.
+fn act_bytes(model: &ModelConfig, par: &ParallelismConfig, tokens: u64) -> u64 {
+    tokens * model.hidden * model.dtype_bytes as u64 / par.tp as u64
+}
+
+fn emit_forward(
+    g: &mut OperatorGraph,
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    s: u32,
+    k: usize,
+) -> GroupEnds {
+    let tokens = par.micro_batch_size as u64 * model.seq_len;
+    let tag = format!("@s{s}.mb{k}.fwd");
+    emit_pass(
+        g,
+        model,
+        par,
+        s,
+        &tag,
+        tokens,
+        model.seq_len,
+        PassKind::Forward,
+    )
+}
+
+fn emit_backward(
+    g: &mut OperatorGraph,
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    s: u32,
+    k: usize,
+) -> GroupEnds {
+    let tokens = par.micro_batch_size as u64 * model.seq_len;
+    let tag = format!("@s{s}.mb{k}.bwd");
+    emit_pass(
+        g,
+        model,
+        par,
+        s,
+        &tag,
+        tokens,
+        model.seq_len,
+        PassKind::Backward,
+    )
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassKind {
+    Forward,
+    Backward,
+    Inference,
+}
+
+/// Emit one pass over the stage's layers as a linear chain. Returns the
+/// group's bracketing ops.
+#[allow(clippy::too_many_arguments)]
+fn emit_pass(
+    g: &mut OperatorGraph,
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    s: u32,
+    tag: &str,
+    tokens: u64,
+    attn_ctx: u64,
+    pass: PassKind,
+) -> GroupEnds {
+    let pp = par.pp;
+    let tp = par.tp as u64;
+    let dt = model.dtype_bytes as u64;
+    let h = model.hidden;
+    let layers_per_stage = (model.layers / pp) as usize;
+    // Backward flops are ~2× forward (input grads + weight grads).
+    let fmul = if pass == PassKind::Backward { 2.0 } else { 1.0 };
+    // PP boundary tensors are TP-sharded (Eq. 5); TP collectives move the
+    // full activation (Eq. 4).
+    let boundary = act_bytes(model, par, tokens);
+    let tp_bytes = tokens * h * dt;
+
+    let mut state = ChainState {
+        chain: None,
+        first: None,
+        device: s,
+    };
+    let mut push =
+        |g: &mut OperatorGraph, name: String, kind: OpKind| -> OpId { state.push(g, name, kind) };
+
+    // Boundary receive.
+    let needs_recv = match pass {
+        PassKind::Forward | PassKind::Inference => s > 0,
+        PassKind::Backward => s + 1 < pp,
+    };
+    let logit_flops =
+        |t: u64| t as f64 * 2.0 * h as f64 * model.vocab as f64 / tp as f64;
+    let recv = needs_recv.then(|| {
+        push(
+            g,
+            format!("PPRecv{tag}"),
+            OpKind::Comm {
+                coll: Collective::Recv,
+                group: GroupKind::Pp,
+                group_size: 2,
+                bytes: boundary,
+            },
+        )
+    });
+
+    // Backward starts at the loss: the last stage differentiates the
+    // logit projection first.
+    if s == pp - 1 && pass == PassKind::Backward {
+        push(
+            g,
+            format!("BwdLogit{tag}"),
+            OpKind::Fused {
+                flops: 2.0 * logit_flops(tokens),
+                bytes: h * model.vocab * dt / tp,
+            },
+        );
+    }
+
+    // Embedding on the first stage (forward/inference only).
+    if s == 0 && pass != PassKind::Backward {
+        push(
+            g,
+            format!("LoadWeight{tag}"),
+            OpKind::Memory {
+                bytes: model.embedding_params() * dt / tp,
+            },
+        );
+        push(
+            g,
+            format!("EmbeddingComputation{tag}"),
+            OpKind::Compute {
+                flops: tokens as f64 * h as f64,
+            },
+        );
+    }
+
+    for l in 0..layers_per_stage {
+        let ltag = format!("{tag}.L{l}");
+        // ZeRO-3 gathers the layer's parameter shard before using it.
+        if par.zero == DpSync::Zero3 && pass != PassKind::Inference && par.dp > 1 {
+            push(
+                g,
+                format!("Zero3ParamAllGather{ltag}"),
+                OpKind::Comm {
+                    coll: Collective::AllGather,
+                    group: GroupKind::Dp,
+                    group_size: par.dp,
+                    bytes: stage_sync_params(model, par, s) * dt
+                        / (model.layers / pp) as u64,
+                },
+            );
+        }
+
+        match pass {
+            PassKind::Forward | PassKind::Inference => {
+                emit_layer_forward(g, model, par, tokens, attn_ctx, &ltag, &mut push, pass);
+            }
+            PassKind::Backward => {
+                let f = model.fwd_flops_per_token_layer(attn_ctx) / tp as f64;
+                let wbytes = model.active_params_per_layer() * dt / tp;
+                push(
+                    g,
+                    format!("BwdAttn{ltag}"),
+                    OpKind::Fused {
+                        flops: fmul * f * 0.4 * tokens as f64,
+                        bytes: wbytes / 2,
+                    },
+                );
+                if par.tp > 1 {
+                    push(
+                        g,
+                        format!("BwdAttnTPAllReduce{ltag}"),
+                        OpKind::Comm {
+                            coll: Collective::AllReduce,
+                            group: GroupKind::Tp,
+                            group_size: par.tp,
+                            bytes: tp_bytes,
+                        },
+                    );
+                }
+                if let Some(moe) = model.moe {
+                    if par.ep > 1 {
+                        push(
+                            g,
+                            format!("BwdEPCombineAllToAll{ltag}"),
+                            OpKind::Comm {
+                                coll: Collective::AllToAll,
+                                group: GroupKind::Ep,
+                                group_size: par.ep,
+                                bytes: tokens * moe.top_k as u64 * h * dt / tp,
+                            },
+                        );
+                    }
+                }
+                push(
+                    g,
+                    format!("BwdMLP{ltag}"),
+                    OpKind::Fused {
+                        flops: fmul * f * 0.6 * tokens as f64,
+                        bytes: wbytes / 2,
+                    },
+                );
+                if let Some(moe) = model.moe {
+                    if par.ep > 1 {
+                        push(
+                            g,
+                            format!("BwdEPDispatchAllToAll{ltag}"),
+                            OpKind::Comm {
+                                coll: Collective::AllToAll,
+                                group: GroupKind::Ep,
+                                group_size: par.ep,
+                                bytes: tokens * moe.top_k as u64 * h * dt / tp,
+                            },
+                        );
+                    }
+                }
+                if par.tp > 1 {
+                    push(
+                        g,
+                        format!("BwdMLPTPAllReduce{ltag}"),
+                        OpKind::Comm {
+                            coll: Collective::AllReduce,
+                            group: GroupKind::Tp,
+                            group_size: par.tp,
+                            bytes: tp_bytes,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Logit on the last stage (forward/inference only); the embedding
+    // gradient write closes the backward pass on stage 0.
+    if s == pp - 1 && pass != PassKind::Backward {
+        push(
+            g,
+            format!("Logit{tag}"),
+            OpKind::Fused {
+                flops: logit_flops(tokens),
+                bytes: h * model.vocab * dt / tp,
+            },
+        );
+    }
+    if s == 0 && pass == PassKind::Backward {
+        push(
+            g,
+            format!("BwdEmbeddingGrad{tag}"),
+            OpKind::Memory {
+                bytes: tokens * h * dt,
+            },
+        );
+    }
+
+    // Boundary send. The send is asynchronous: it depends on the group's
+    // last compute op, but the next group chains off the compute op, not
+    // the send (Megatron issues isend and moves on).
+    drop(push);
+    let last_compute = state.chain.expect("pass emitted no ops");
+    let mut push =
+        |g: &mut OperatorGraph, name: String, kind: OpKind| -> OpId { state.push(g, name, kind) };
+    let needs_send = match pass {
+        PassKind::Forward | PassKind::Inference => s + 1 < pp,
+        PassKind::Backward => s > 0,
+    };
+    let send = needs_send.then(|| {
+        push(
+            g,
+            format!("PPSend{tag}"),
+            OpKind::Comm {
+                coll: Collective::Send,
+                group: GroupKind::Pp,
+                group_size: 2,
+                bytes: boundary,
+            },
+        )
+    });
+
+    drop(push);
+    GroupEnds {
+        first: state.first.expect("pass emitted no ops"),
+        last: last_compute,
+        send,
+        recv,
+    }
+}
+
+/// Linear-chain emission state shared by the pass emitters.
+struct ChainState {
+    chain: Option<OpId>,
+    first: Option<OpId>,
+    device: u32,
+}
+
+impl ChainState {
+    fn push(&mut self, g: &mut OperatorGraph, name: String, kind: OpKind) -> OpId {
+        let deps = self.chain.map(|c| vec![c]).unwrap_or_default();
+        let id = g.push(name, self.device, kind, deps);
+        self.chain = Some(id);
+        if self.first.is_none() {
+            self.first = Some(id);
+        }
+        id
+    }
+}
+
+/// Emit the Table-1 forward operators of one transformer layer.
+#[allow(clippy::too_many_arguments)]
+fn emit_layer_forward(
+    g: &mut OperatorGraph,
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    tokens: u64,
+    attn_ctx: u64,
+    ltag: &str,
+    push: &mut impl FnMut(&mut OperatorGraph, String, OpKind) -> OpId,
+    pass: PassKind,
+) {
+    let tp = par.tp as u64;
+    let dt = model.dtype_bytes as u64;
+    let h = model.hidden;
+    let kv = model.kv_dim();
+    let boundary = tokens * h * dt;
+
+    push(
+        g,
+        format!("RMSNormLoadWeight{ltag}"),
+        OpKind::Memory { bytes: h * dt },
+    );
+    push(
+        g,
+        format!("RMSNormComputation{ltag}"),
+        OpKind::Compute {
+            flops: 4.0 * tokens as f64 * h as f64,
+        },
+    );
+    push(
+        g,
+        format!("GQAQKVLoadWeight{ltag}"),
+        OpKind::Memory {
+            bytes: h * (h + 2 * kv) * dt / tp,
+        },
+    );
+    push(
+        g,
+        format!("GQAQKVComputation{ltag}"),
+        OpKind::Compute {
+            flops: tokens as f64 * 2.0 * (h * (h + 2 * kv)) as f64 / tp as f64,
+        },
+    );
+    if pass == PassKind::Inference && attn_ctx > tokens {
+        // Decode reads the KV cache from HBM — the memory-bound core.
+        push(
+            g,
+            format!("KVCacheLoad{ltag}"),
+            OpKind::Memory {
+                bytes: tokens * 2 * attn_ctx * kv * dt / tp,
+            },
+        );
+    }
+    push(
+        g,
+        format!("GQACoreAttn{ltag}"),
+        OpKind::Compute {
+            flops: tokens as f64 * 4.0 * attn_ctx as f64 * h as f64 / tp as f64,
+        },
+    );
+    push(
+        g,
+        format!("GQAAttnProjLoadWeight{ltag}"),
+        OpKind::Memory {
+            bytes: h * h * dt / tp,
+        },
+    );
+    push(
+        g,
+        format!("GQAAttnProjComputation{ltag}"),
+        OpKind::Compute {
+            flops: tokens as f64 * 2.0 * (h * h) as f64 / tp as f64,
+        },
+    );
+    if par.tp > 1 {
+        push(
+            g,
+            format!("AttnTPAllReduce{ltag}"),
+            OpKind::Comm {
+                coll: Collective::AllReduce,
+                group: GroupKind::Tp,
+                group_size: par.tp,
+                bytes: boundary,
+            },
+        );
+    }
+
+    match model.moe {
+        None => {
+            let ffn = model.ffn_hidden;
+            let names: &[&str] = if model.gated_ffn {
+                &["SwiMLPUpProj", "SwiMLPGateProj", "SwiMLPDownProj"]
+            } else {
+                &["MLPUpProj", "MLPDownProj"]
+            };
+            for name in names {
+                push(
+                    g,
+                    format!("{name}{ltag}"),
+                    OpKind::Fused {
+                        flops: tokens as f64 * 2.0 * (h * ffn) as f64 / tp as f64,
+                        bytes: h * ffn * dt / tp,
+                    },
+                );
+            }
+        }
+        Some(moe) => {
+            push(
+                g,
+                format!("MoERouter{ltag}"),
+                OpKind::Compute {
+                    flops: tokens as f64 * 2.0 * h as f64 * moe.experts as f64,
+                },
+            );
+            let a2a_bytes = tokens * moe.top_k as u64 * h * dt / tp;
+            if par.ep > 1 {
+                push(
+                    g,
+                    format!("EPDispatchAllToAll{ltag}"),
+                    OpKind::Comm {
+                        coll: Collective::AllToAll,
+                        group: GroupKind::Ep,
+                        group_size: par.ep,
+                        bytes: a2a_bytes,
+                    },
+                );
+            }
+            push(
+                g,
+                format!("ExpertFFN{ltag}"),
+                OpKind::Fused {
+                    flops: tokens as f64
+                        * moe.top_k as f64
+                        * 2.0
+                        * model.ffn_matrices() as f64
+                        * (h * moe.expert_ffn_hidden) as f64
+                        / tp as f64,
+                    bytes: model.ffn_matrices() * h * moe.expert_ffn_hidden * dt / tp
+                        * (moe.experts as u64 / par.ep as u64).max(1),
+                },
+            );
+            if par.ep > 1 {
+                push(
+                    g,
+                    format!("EPCombineAllToAll{ltag}"),
+                    OpKind::Comm {
+                        coll: Collective::AllToAll,
+                        group: GroupKind::Ep,
+                        group_size: par.ep,
+                        bytes: a2a_bytes,
+                    },
+                );
+            }
+        }
+    }
+    if par.tp > 1 {
+        push(
+            g,
+            format!("MLPTPAllReduce{ltag}"),
+            OpKind::Comm {
+                coll: Collective::AllReduce,
+                group: GroupKind::Tp,
+                group_size: par.tp,
+                bytes: boundary,
+            },
+        );
+    }
+}
+
+/// Parameters a stage synchronizes over DP, accounting for expert sharding.
+fn stage_sync_params(model: &ModelConfig, par: &ParallelismConfig, s: u32) -> u64 {
+    let layers = (model.layers / par.pp) as u64;
+    let dense = model.attn_params_per_layer() + 2 * model.hidden;
+    let expert = model.ffn_params_per_layer() / par.ep as u64;
+    let mut p = layers * (dense + expert) / par.tp as u64;
+    if s == 0 || s == par.pp - 1 {
+        p += model.embedding_params() / par.tp as u64;
+    }
+    p
+}
+
+/// Emit the end-of-iteration DP gradient synchronization.
+fn emit_dp_sync(
+    g: &mut OperatorGraph,
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    s: u32,
+    after: OpId,
+) {
+    if par.dp <= 1 {
+        return;
+    }
+    let bytes = stage_sync_params(model, par, s) * model.dtype_bytes as u64;
+    match par.zero {
+        DpSync::AllReduce => {
+            g.push(
+                format!("DPGradAllReduce@s{s}"),
+                s,
+                OpKind::Comm {
+                    coll: Collective::AllReduce,
+                    group: GroupKind::Dp,
+                    group_size: par.dp,
+                    bytes,
+                },
+                vec![after],
+            );
+        }
+        DpSync::Zero1 => {
+            let rs = g.push(
+                format!("ZeroGradReduceScatter@s{s}"),
+                s,
+                OpKind::Comm {
+                    coll: Collective::ReduceScatter,
+                    group: GroupKind::Dp,
+                    group_size: par.dp,
+                    bytes,
+                },
+                vec![after],
+            );
+            g.push(
+                format!("ZeroParamAllGather@s{s}"),
+                s,
+                OpKind::Comm {
+                    coll: Collective::AllGather,
+                    group: GroupKind::Dp,
+                    group_size: par.dp,
+                    bytes,
+                },
+                vec![rs],
+            );
+        }
+        DpSync::Zero3 => {
+            // Per-layer AllGathers were already emitted inline; the tail is
+            // the gradient ReduceScatter.
+            g.push(
+                format!("ZeroGradReduceScatter@s{s}"),
+                s,
+                OpKind::Comm {
+                    coll: Collective::ReduceScatter,
+                    group: GroupKind::Dp,
+                    group_size: par.dp,
+                    bytes,
+                },
+                vec![after],
+            );
+        }
+    }
+}
+
+fn emit_inference_stage(
+    g: &mut OperatorGraph,
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    s: u32,
+    batch: u64,
+    phase: InferencePhase,
+) -> GroupEnds {
+    let (tokens, ctx) = match phase {
+        InferencePhase::Prefill { prompt_len } => (batch * prompt_len, prompt_len),
+        InferencePhase::Decode { context_len } => (batch, context_len),
+    };
+    let tag = match phase {
+        InferencePhase::Prefill { .. } => format!("@s{s}.prefill"),
+        InferencePhase::Decode { .. } => format!("@s{s}.decode"),
+    };
+    emit_pass(g, model, par, s, &tag, tokens, ctx, PassKind::Inference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> ModelConfig {
+        ModelConfig {
+            name: "test-4l".into(),
+            layers: 4,
+            hidden: 1024,
+            heads: 8,
+            kv_heads: 2,
+            ffn_hidden: 4096,
+            vocab: 32000,
+            seq_len: 2048,
+            dtype_bytes: 2,
+            gated_ffn: true,
+            moe: None,
+        }
+    }
+
+    #[test]
+    fn training_graph_validates_and_covers_stages() {
+        let m = small_model();
+        let par = ParallelismConfig::new(2, 2, 2);
+        let g = build_training_iteration(&m, &par);
+        assert_eq!(g.validate(), Ok(()));
+        assert_eq!(g.devices, 2);
+        for d in 0..2 {
+            assert!(g.device_ops(d).count() > 0);
+        }
+        assert!(g.topo_order().is_some());
+    }
+
+    #[test]
+    fn table1_operator_inventory_for_llama3() {
+        // The LLaMA-3 dense graph must contain exactly the Table-1 operator
+        // families with the right type labels.
+        let m = ModelConfig::llama3_70b();
+        let mut par = ParallelismConfig::new(8, 8, 1);
+        par.microbatches = 8;
+        let g = build_training_iteration(&m, &par);
+        let inv = g.operator_inventory();
+        let lookup = |n: &str| -> &'static str {
+            inv.iter()
+                .find(|(name, _)| name == n)
+                .unwrap_or_else(|| panic!("operator {n} missing"))
+                .1
+        };
+        assert_eq!(lookup("LoadWeight"), "Mem.");
+        assert_eq!(lookup("EmbeddingComputation"), "Comp.");
+        assert_eq!(lookup("PPRecv"), "Comm.");
+        assert_eq!(lookup("RMSNormLoadWeight"), "Mem.");
+        assert_eq!(lookup("RMSNormComputation"), "Comp.");
+        assert_eq!(lookup("GQAQKVLoadWeight"), "Mem.");
+        assert_eq!(lookup("GQAQKVComputation"), "Comp.");
+        assert_eq!(lookup("GQACoreAttn"), "Comp.");
+        assert_eq!(lookup("GQAAttnProjLoadWeight"), "Mem.");
+        assert_eq!(lookup("GQAAttnProjComputation"), "Comp.");
+        assert_eq!(lookup("AttnTPAllReduce"), "Comm.");
+        assert_eq!(lookup("SwiMLPUpProj"), "Mem. + Comp.");
+        assert_eq!(lookup("SwiMLPGateProj"), "Mem. + Comp.");
+        assert_eq!(lookup("SwiMLPDownProj"), "Mem. + Comp.");
+        assert_eq!(lookup("MLPTPAllReduce"), "Comm.");
+        assert_eq!(lookup("PPSend"), "Comm.");
+        assert_eq!(lookup("Logit"), "Mem. + Comp.");
+    }
+
+    #[test]
+    fn moe_graph_contains_alltoall() {
+        let m = ModelConfig::hunyuan_moe_1t();
+        let mut m2 = m.clone();
+        m2.layers = 4;
+        let mut par = ParallelismConfig::new(2, 2, 4);
+        par.ep = 4;
+        let g = build_training_iteration(&m2, &par);
+        let inv = g.operator_inventory();
+        assert!(inv.iter().any(|(n, _)| n == "EPDispatchAllToAll"));
+        assert!(inv.iter().any(|(n, _)| n == "EPCombineAllToAll"));
+        assert!(inv.iter().any(|(n, _)| n == "ExpertFFN"));
+    }
+
+    #[test]
+    fn dense_graph_has_no_alltoall() {
+        let g = build_training_iteration(&small_model(), &ParallelismConfig::new(2, 2, 2));
+        assert!(!g
+            .operator_inventory()
+            .iter()
+            .any(|(n, _)| n.contains("AllToAll")));
+    }
+
+    #[test]
+    fn zero3_adds_param_allgathers_and_more_comm() {
+        let m = small_model();
+        let mut base = ParallelismConfig::new(1, 2, 4);
+        base.microbatches = 4;
+        let g_plain = build_training_iteration(&m, &base);
+        let mut z3 = base;
+        z3.zero = DpSync::Zero3;
+        let g_zero3 = build_training_iteration(&m, &z3);
+        assert!(g_zero3
+            .operator_inventory()
+            .iter()
+            .any(|(n, _)| n == "Zero3ParamAllGather"));
+        assert!(
+            g_zero3.total_comm_bytes() > 2 * g_plain.total_comm_bytes(),
+            "ZeRO-3 must be much heavier: {} vs {}",
+            g_zero3.total_comm_bytes(),
+            g_plain.total_comm_bytes()
+        );
+    }
+
+    #[test]
+    fn flops_match_config_arithmetic() {
+        // Graph total flops ≈ 3 × fwd flops × tokens (fwd + 2×-weighted bwd).
+        let m = small_model();
+        let mut par = ParallelismConfig::new(1, 1, 1);
+        par.microbatches = 2;
+        par.micro_batch_size = 1;
+        let g = build_training_iteration(&m, &par);
+        let tokens = par.global_batch() * m.seq_len;
+        let expected = m.train_flops_per_token(m.seq_len) * tokens as f64;
+        let got = g.total_flops();
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "graph {got:.3e} vs config {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn pipeline_send_recv_pair_up() {
+        let m = small_model();
+        let mut par = ParallelismConfig::new(1, 4, 1);
+        par.microbatches = 4;
+        let g = build_training_iteration(&m, &par);
+        let sends = g
+            .ops
+            .iter()
+            .filter(|o| o.name.starts_with("PPSend"))
+            .count();
+        let recvs = g
+            .ops
+            .iter()
+            .filter(|o| o.name.starts_with("PPRecv"))
+            .count();
+        assert_eq!(sends, recvs);
+        // fwd: 3 boundaries × 4 mb, bwd: 3 × 4.
+        assert_eq!(sends, 24);
+    }
+
+    #[test]
+    fn decode_is_memory_dominated_prefill_compute_dominated() {
+        let m = ModelConfig::llama3_8b();
+        let par = ParallelismConfig::new(4, 1, 1);
+        let prefill = build_inference(&m, &par, 8, InferencePhase::Prefill { prompt_len: 2048 });
+        let decode = build_inference(&m, &par, 8, InferencePhase::Decode { context_len: 2048 });
+        // Arithmetic intensity (flops/byte) collapses in decode.
+        let ai_p = prefill.total_flops() / prefill.total_mem_bytes() as f64;
+        let ai_d = decode.total_flops() / decode.total_mem_bytes() as f64;
+        assert!(
+            ai_p > 50.0 * ai_d,
+            "prefill AI {ai_p:.1} vs decode AI {ai_d:.1}"
+        );
+    }
+
+    #[test]
+    fn microbatch_count_scales_ops_linearly() {
+        let m = small_model();
+        let mut p4 = ParallelismConfig::new(2, 2, 1);
+        p4.microbatches = 4;
+        let mut p8 = p4;
+        p8.microbatches = 8;
+        let g4 = build_training_iteration(&m, &p4);
+        let g8 = build_training_iteration(&m, &p8);
+        // DP sync ops are constant; everything else doubles.
+        assert!(g8.len() > 2 * g4.len() - 8);
+    }
+}

@@ -1,0 +1,199 @@
+//! Chakra-like execution-trace interchange (paper §4.3, method (i)).
+//!
+//! Seer's first operator-dependency path converts profiler output (PyTorch
+//! profiler → Chakra) into an executor graph. This module defines the JSON
+//! schema our tooling exchanges — a simplified Chakra ET: a list of nodes
+//! with `id`, `name`, `op` (type + attributes), and `deps` — and converts it
+//! to and from [`OperatorGraph`]. The same format doubles as the *handcraft
+//! template* (§4.3 method (ii)): model experts author new operators and
+//! overlaps directly in JSON.
+
+use crate::ops::{OpId, OpKind, Operator, OperatorGraph};
+use serde::{Deserialize, Serialize};
+
+/// A serialized trace: the interchange form of an [`OperatorGraph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Schema identifier.
+    pub schema: String,
+    /// Number of pipeline devices.
+    pub devices: u32,
+    /// Nodes in id order.
+    pub nodes: Vec<TraceNode>,
+}
+
+/// One trace node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceNode {
+    /// Dense id.
+    pub id: u32,
+    /// Operator name.
+    pub name: String,
+    /// Executing device (pipeline stage).
+    pub device: u32,
+    /// Operator attributes.
+    pub op: OpKind,
+    /// Ids of operators that must finish first.
+    pub deps: Vec<u32>,
+}
+
+/// Schema tag written by [`export_trace`].
+pub const SCHEMA: &str = "astral-seer-et-v1";
+
+/// Serialize a graph to the interchange form.
+pub fn export_trace(g: &OperatorGraph) -> Trace {
+    Trace {
+        schema: SCHEMA.to_string(),
+        devices: g.devices,
+        nodes: g
+            .ops
+            .iter()
+            .map(|o| TraceNode {
+                id: o.id.0,
+                name: o.name.clone(),
+                device: o.device,
+                op: o.kind,
+                deps: o.deps.iter().map(|d| d.0).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Errors importing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// Unknown schema tag.
+    BadSchema(String),
+    /// Node ids are not dense/in order.
+    BadIds,
+    /// The resulting graph failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::BadSchema(s) => write!(f, "unsupported trace schema {s:?}"),
+            ImportError::BadIds => write!(f, "trace node ids must be dense and ordered"),
+            ImportError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Deserialize the interchange form into a validated graph.
+pub fn import_trace(t: &Trace) -> Result<OperatorGraph, ImportError> {
+    if t.schema != SCHEMA {
+        return Err(ImportError::BadSchema(t.schema.clone()));
+    }
+    let mut g = OperatorGraph::new(t.devices);
+    for (i, n) in t.nodes.iter().enumerate() {
+        if n.id as usize != i {
+            return Err(ImportError::BadIds);
+        }
+        g.ops.push(Operator {
+            id: OpId(n.id),
+            name: n.name.clone(),
+            device: n.device,
+            kind: n.op,
+            deps: n.deps.iter().map(|&d| OpId(d)).collect(),
+        });
+    }
+    g.validate().map_err(ImportError::Invalid)?;
+    Ok(g)
+}
+
+/// JSON round-trip helpers.
+pub fn to_json(g: &OperatorGraph) -> String {
+    serde_json::to_string_pretty(&export_trace(g)).expect("graph serializes")
+}
+
+/// Parse a JSON trace (profiler export or handcrafted template).
+pub fn from_json(json: &str) -> Result<OperatorGraph, ImportError> {
+    let trace: Trace =
+        serde_json::from_str(json).map_err(|e| ImportError::Invalid(e.to_string()))?;
+    import_trace(&trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_training_iteration;
+    use crate::config::ModelConfig;
+    use crate::parallel::ParallelismConfig;
+
+    fn graph() -> OperatorGraph {
+        let mut m = ModelConfig::llama3_8b();
+        m.layers = 4;
+        build_training_iteration(&m, &ParallelismConfig::new(2, 2, 2))
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let g = graph();
+        let json = to_json(&g);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.devices, g.devices);
+        assert_eq!(back.total_flops(), g.total_flops());
+        assert_eq!(back.total_comm_bytes(), g.total_comm_bytes());
+        for (a, b) in g.ops.iter().zip(&back.ops) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.deps, b.deps);
+        }
+    }
+
+    #[test]
+    fn bad_schema_is_rejected() {
+        let mut t = export_trace(&graph());
+        t.schema = "something-else".into();
+        assert!(matches!(import_trace(&t), Err(ImportError::BadSchema(_))));
+    }
+
+    #[test]
+    fn scrambled_ids_are_rejected() {
+        let mut t = export_trace(&graph());
+        t.nodes[0].id = 99;
+        assert!(matches!(import_trace(&t), Err(ImportError::BadIds)));
+    }
+
+    #[test]
+    fn handcraft_template_parses() {
+        // The §4.3(ii) path: a hand-authored JSON template with a custom
+        // operator overlapped against an existing one.
+        let json = r#"{
+            "schema": "astral-seer-et-v1",
+            "devices": 1,
+            "nodes": [
+                {"id": 0, "name": "SA", "device": 0,
+                 "op": {"Compute": {"flops": 1e9}}, "deps": []},
+                {"id": 1, "name": "MyNewFusedOp", "device": 0,
+                 "op": {"Fused": {"flops": 5e8, "bytes": 1048576}}, "deps": [0]},
+                {"id": 2, "name": "OverlappedComm", "device": 0,
+                 "op": {"Comm": {"coll": "AllReduce", "group": "Tp",
+                                  "group_size": 8, "bytes": 4194304}},
+                 "deps": [0]}
+            ]
+        }"#;
+        let g = from_json(json).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.ops[1].name, "MyNewFusedOp");
+        assert!((g.total_flops() - 1.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cyclic_trace_is_rejected() {
+        let json = r#"{
+            "schema": "astral-seer-et-v1",
+            "devices": 1,
+            "nodes": [
+                {"id": 0, "name": "A", "device": 0,
+                 "op": {"Compute": {"flops": 1.0}}, "deps": [1]},
+                {"id": 1, "name": "B", "device": 0,
+                 "op": {"Compute": {"flops": 1.0}}, "deps": [0]}
+            ]
+        }"#;
+        assert!(matches!(from_json(json), Err(ImportError::Invalid(_))));
+    }
+}

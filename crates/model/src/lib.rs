@@ -1,0 +1,37 @@
+//! # astral-model — LLM workload models
+//!
+//! The workload substrate of the Astral reproduction:
+//!
+//! * [`ModelConfig`] — dense and MoE transformer shapes with parameter /
+//!   FLOP arithmetic, and templates for the models the paper evaluates
+//!   (LLaMA 2/3, GPT-3-175B, a Hunyuan-like 1T MoE, a DeepSeek-R1-like MoE).
+//! * [`ParallelismConfig`] — Megatron-style TP/PP/DP(+EP, ZeRO) layouts and
+//!   communicator-group construction.
+//! * [`OperatorGraph`] + [`build_training_iteration`] /
+//!   [`build_inference`] — Table-1-faithful operator DAGs with 1F1B
+//!   pipeline sequencing, the unit Seer forecasts.
+//! * [`chakra`] — Chakra-like JSON trace interchange (profiler import and
+//!   handcraft templates).
+//!
+//! ```
+//! use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
+//!
+//! let mut model = ModelConfig::llama3_8b();
+//! model.layers = 8;
+//! let par = ParallelismConfig::new(2, 2, 2);
+//! let graph = build_training_iteration(&model, &par);
+//! assert!(graph.topo_order().is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chakra;
+mod builder;
+mod config;
+mod ops;
+mod parallel;
+
+pub use builder::{build_inference, build_training_iteration, InferencePhase};
+pub use config::{ModelConfig, MoeConfig};
+pub use ops::{Collective, GroupKind, OpId, OpKind, Operator, OperatorGraph};
+pub use parallel::{DpSync, ParallelismConfig};

@@ -1,0 +1,246 @@
+//! The anomaly taxonomy of Figure 7: failure manifestations, root causes,
+//! and their production distribution.
+
+use astral_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Observable symptom of training degradation (Figure 7, left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Manifestation {
+    /// Job aborts during initialization (4%).
+    FailOnStart,
+    /// Abrupt termination after partial execution (66%).
+    FailStop,
+    /// Degraded iteration throughput (13%).
+    FailSlow,
+    /// Complete stagnation without termination (17%).
+    FailHang,
+}
+
+impl fmt::Display for Manifestation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Manifestation::FailOnStart => "fail-on-start",
+            Manifestation::FailStop => "fail-stop",
+            Manifestation::FailSlow => "fail-slow",
+            Manifestation::FailHang => "fail-hang",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Production prevalence of each manifestation (Figure 7).
+pub fn manifestation_distribution() -> [(Manifestation, f64); 4] {
+    [
+        (Manifestation::FailStop, 0.66),
+        (Manifestation::FailHang, 0.17),
+        (Manifestation::FailSlow, 0.13),
+        (Manifestation::FailOnStart, 0.04),
+    ]
+}
+
+/// Fundamental cause behind a manifestation (Figure 7, right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootCause {
+    /// Host environment and configuration problems (32%).
+    HostEnvConfig,
+    /// NIC errors (15%).
+    NicError,
+    /// User code bugs (14%).
+    UserCode,
+    /// Switch misconfiguration (14%).
+    SwitchConfig,
+    /// Switch firmware bugs (7%).
+    SwitchBug,
+    /// Optical fiber / module damage (7%).
+    OpticalFiber,
+    /// Collective-communication-library bugs (3%).
+    CclBug,
+    /// Wire connection mistakes (3%).
+    WireConnection,
+    /// GPU hardware faults (2%).
+    GpuHardware,
+    /// Memory (ECC) errors (2%).
+    Memory,
+    /// Link flapping (2%).
+    LinkFlap,
+}
+
+impl fmt::Display for RootCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RootCause::HostEnvConfig => "Host Env&Conf.",
+            RootCause::NicError => "NIC Error",
+            RootCause::UserCode => "User code",
+            RootCause::SwitchConfig => "Switch Conf.",
+            RootCause::SwitchBug => "Switch BUG",
+            RootCause::OpticalFiber => "Optical Fiber",
+            RootCause::CclBug => "CCL Bug",
+            RootCause::WireConnection => "Wire conn.",
+            RootCause::GpuHardware => "GPU Hardware",
+            RootCause::Memory => "Memory",
+            RootCause::LinkFlap => "Link Flap",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// All root causes with the production shares of Figure 7.
+pub fn root_cause_distribution() -> [(RootCause, f64); 11] {
+    [
+        (RootCause::HostEnvConfig, 0.32),
+        (RootCause::NicError, 0.15),
+        (RootCause::UserCode, 0.14),
+        (RootCause::SwitchConfig, 0.14),
+        (RootCause::SwitchBug, 0.07),
+        (RootCause::OpticalFiber, 0.07),
+        (RootCause::CclBug, 0.03),
+        (RootCause::WireConnection, 0.03),
+        (RootCause::GpuHardware, 0.02),
+        (RootCause::Memory, 0.02),
+        (RootCause::LinkFlap, 0.02),
+    ]
+}
+
+impl RootCause {
+    /// Sample a root cause from the production distribution.
+    pub fn sample(rng: &mut SimRng) -> RootCause {
+        let dist = root_cause_distribution();
+        let weights: Vec<f64> = dist.iter().map(|&(_, w)| w).collect();
+        dist[rng.weighted_index(&weights).expect("weights sum > 0")].0
+    }
+
+    /// The manifestation this cause typically produces (used by the
+    /// injection campaign; ties to how each fault actually behaves).
+    pub fn typical_manifestation(&self, rng: &mut SimRng) -> Manifestation {
+        match self {
+            RootCause::HostEnvConfig | RootCause::WireConnection => {
+                if rng.chance(0.6) {
+                    Manifestation::FailOnStart
+                } else {
+                    Manifestation::FailStop
+                }
+            }
+            RootCause::NicError | RootCause::OpticalFiber => Manifestation::FailStop,
+            RootCause::UserCode => {
+                if rng.chance(0.7) {
+                    Manifestation::FailStop
+                } else {
+                    Manifestation::FailHang
+                }
+            }
+            RootCause::SwitchConfig | RootCause::SwitchBug => {
+                if rng.chance(0.5) {
+                    Manifestation::FailSlow
+                } else {
+                    Manifestation::FailStop
+                }
+            }
+            RootCause::CclBug => Manifestation::FailHang,
+            RootCause::GpuHardware | RootCause::Memory => Manifestation::FailStop,
+            RootCause::LinkFlap => {
+                if rng.chance(0.5) {
+                    Manifestation::FailSlow
+                } else {
+                    Manifestation::FailHang
+                }
+            }
+        }
+    }
+
+    /// Coarse diagnosis class this cause belongs to (what the analyzer can
+    /// actually pin down from telemetry).
+    pub fn class(&self) -> CauseClass {
+        match self {
+            RootCause::HostEnvConfig | RootCause::WireConnection => CauseClass::HostEnvironment,
+            RootCause::NicError | RootCause::OpticalFiber | RootCause::LinkFlap => {
+                CauseClass::NicOrLink
+            }
+            RootCause::UserCode | RootCause::CclBug => CauseClass::SoftwareOrUserCode,
+            RootCause::SwitchConfig | RootCause::SwitchBug => CauseClass::SwitchOrFabric,
+            RootCause::GpuHardware | RootCause::Memory => CauseClass::GpuHardware,
+        }
+    }
+}
+
+/// What the hierarchical analyzer reports as the cause family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CauseClass {
+    /// Host environment / configuration / wiring.
+    HostEnvironment,
+    /// NIC, optical module, or link fault.
+    NicOrLink,
+    /// GPU or memory hardware fault.
+    GpuHardware,
+    /// Software: user code or CCL bugs (multi-host symptoms).
+    SoftwareOrUserCode,
+    /// Switch configuration or firmware.
+    SwitchOrFabric,
+    /// A host-side drain bottleneck (e.g. degraded PCIe) causing PFC.
+    PcieBottleneck,
+    /// Fabric congestion (ECMP collisions) without a hardware fault.
+    Congestion,
+    /// The analyzer could not identify a cause.
+    Unknown,
+}
+
+impl fmt::Display for CauseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CauseClass::HostEnvironment => "host environment",
+            CauseClass::NicOrLink => "NIC/link",
+            CauseClass::GpuHardware => "GPU/memory hardware",
+            CauseClass::SoftwareOrUserCode => "software/user code",
+            CauseClass::SwitchOrFabric => "switch/fabric",
+            CauseClass::PcieBottleneck => "PCIe drain bottleneck",
+            CauseClass::Congestion => "congestion",
+            CauseClass::Unknown => "unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_sum_to_one() {
+        let m: f64 = manifestation_distribution().iter().map(|&(_, p)| p).sum();
+        assert!((m - 1.0).abs() < 1e-9);
+        let r: f64 = root_cause_distribution().iter().map(|&(_, p)| p).sum();
+        assert!((r - 1.01).abs() < 0.011, "paper shares sum to ~101%: {r}");
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = SimRng::new(13);
+        let n = 50_000;
+        let mut host_env = 0usize;
+        for _ in 0..n {
+            if RootCause::sample(&mut rng) == RootCause::HostEnvConfig {
+                host_env += 1;
+            }
+        }
+        let frac = host_env as f64 / n as f64;
+        assert!((frac - 0.32 / 1.01).abs() < 0.01, "host env frac {frac}");
+    }
+
+    #[test]
+    fn every_cause_has_a_class() {
+        for (cause, _) in root_cause_distribution() {
+            let _ = cause.class(); // must not panic; exhaustive match
+        }
+    }
+
+    #[test]
+    fn manifestation_sampling_is_total() {
+        let mut rng = SimRng::new(5);
+        for (cause, _) in root_cause_distribution() {
+            for _ in 0..10 {
+                let _ = cause.typical_manifestation(&mut rng);
+            }
+        }
+    }
+}

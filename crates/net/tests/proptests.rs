@@ -1,0 +1,98 @@
+//! Property-based tests for the network layer.
+
+use astral_net::{check_bottleneck_property, max_min_rates, simulate_route, EcmpHasher};
+use astral_topo::{build_astral, AstralParams, GpuId, Router};
+use proptest::prelude::*;
+
+/// Random small fairness problems.
+fn fairness_problem() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<u32>>)> {
+    (2usize..8, 1usize..12).prop_flat_map(|(nl, nf)| {
+        let caps = prop::collection::vec(1.0f64..1000.0, nl..=nl);
+        let flows = prop::collection::vec(
+            prop::collection::btree_set(0u32..nl as u32, 1..=nl.min(4)),
+            nf..=nf,
+        )
+        .prop_map(|fs| {
+            fs.into_iter()
+                .map(|s| s.into_iter().collect::<Vec<u32>>())
+                .collect::<Vec<_>>()
+        });
+        (caps, flows)
+    })
+}
+
+proptest! {
+    /// Max-min allocations never violate capacity and satisfy the
+    /// bottleneck property (every flow is maximal on some saturated link).
+    #[test]
+    fn max_min_is_feasible_and_bottlenecked((caps, flows) in fairness_problem()) {
+        let rates = max_min_rates(&caps, &flows, None);
+        prop_assert_eq!(rates.len(), flows.len());
+        for &r in &rates {
+            prop_assert!(r >= 0.0);
+        }
+        prop_assert_eq!(
+            check_bottleneck_property(&caps, &flows, &rates),
+            None,
+            "caps={:?} flows={:?} rates={:?}", caps, flows, rates
+        );
+    }
+
+    /// Work conservation: on every saturated link the shares sum to
+    /// capacity; the allocation cannot be uniformly scaled up.
+    #[test]
+    fn max_min_is_work_conserving((caps, flows) in fairness_problem()) {
+        let rates = max_min_rates(&caps, &flows, None);
+        // Every flow crosses at least one saturated link; equivalently no
+        // flow's rate can be increased without breaking capacity. Test by
+        // attempting a tiny uniform increase for each flow.
+        let mut used = vec![0.0; caps.len()];
+        for (f, links) in flows.iter().enumerate() {
+            for &l in links {
+                used[l as usize] += rates[f];
+            }
+        }
+        for (f, links) in flows.iter().enumerate() {
+            let can_grow = links.iter().all(|&l| {
+                used[l as usize] + 1e-6 * caps[l as usize] < caps[l as usize]
+            });
+            prop_assert!(!can_grow, "flow {f} could grow: rates={rates:?}");
+        }
+    }
+
+    /// Doubling every weight leaves the allocation unchanged (scale
+    /// invariance of weighted max-min).
+    #[test]
+    fn weighted_max_min_is_scale_invariant((caps, flows) in fairness_problem()) {
+        let w1: Vec<f64> = (0..flows.len()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let w2: Vec<f64> = w1.iter().map(|w| w * 2.0).collect();
+        let r1 = max_min_rates(&caps, &flows, Some(&w1));
+        let r2 = max_min_rates(&caps, &flows, Some(&w2));
+        for (a, b) in r1.iter().zip(&r2) {
+            if a.is_finite() {
+                prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+            } else {
+                prop_assert!(b.is_infinite());
+            }
+        }
+    }
+
+    /// Any sport routes to a valid path between any two NICs in an Astral
+    /// fabric, and the path's length equals the router's distance.
+    #[test]
+    fn every_sport_routes_correctly(ga in 0u32..256, gb in 0u32..256, sport in 49152u16..) {
+        let topo = build_astral(&AstralParams::sim_small());
+        let router = Router::new();
+        let hasher = EcmpHasher::default();
+        let (a, b) = (topo.gpu_nic(GpuId(ga)), topo.gpu_nic(GpuId(gb)));
+        if a == b { return Ok(()); }
+        let path = simulate_route(&topo, &router, &hasher, a, b, sport).unwrap();
+        prop_assert_eq!(path.len() as u16, router.distance(&topo, a, b).unwrap());
+        let mut cur = a;
+        for &l in &path {
+            prop_assert_eq!(topo.link(l).src, cur);
+            cur = topo.link(l).dst;
+        }
+        prop_assert_eq!(cur, b);
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end tests of the flow-level network simulator.
+
+use astral_net::{
+    EcmpController, FlowSpec, FlowState, NetConfig, NetworkSim, PlannedFlow, QpContext,
+};
+use astral_sim::{SimDuration, SimTime};
+use astral_topo::{build_astral, AstralParams, GpuId, HostId, LinkId, Topology};
+
+fn fixture() -> Topology {
+    build_astral(&AstralParams::sim_small())
+}
+
+fn qp_between(sim: &mut NetworkSim, topo: &Topology, a: u32, b: u32) -> astral_net::QpId {
+    sim.register_qp_auto(
+        topo.gpu_nic(GpuId(a)),
+        topo.gpu_nic(GpuId(b)),
+        QpContext::anonymous(),
+    )
+}
+
+#[test]
+fn single_flow_gets_nic_line_rate() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    // Same rail, cross block: bottleneck is one 200G NIC port.
+    let qp = qp_between(&mut sim, &topo, 0, 32);
+    let bytes = 250_000_000u64; // 2 Gbit
+    let stats = sim.run_flows(&[FlowSpec {
+        qp,
+        bytes,
+        weight: 1.0,
+    }]);
+    let rate = stats[0].avg_rate_bps().unwrap();
+    assert!(
+        (rate - 200e9).abs() / 200e9 < 0.01,
+        "expected ~200G, got {rate:.3e}"
+    );
+    assert_eq!(stats[0].state, FlowState::Done);
+}
+
+#[test]
+fn two_flows_on_one_port_share_fairly() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    // Two flows from the same (gpu0) NIC *port*: force same sport so they
+    // share the same 200G uplink.
+    let src = topo.gpu_nic(GpuId(0));
+    let qp1 = sim.register_qp(src, topo.gpu_nic(GpuId(32)), 50_000, QpContext::anonymous());
+    let qp2 = sim.register_qp(src, topo.gpu_nic(GpuId(36)), 50_000, QpContext::anonymous());
+    let bytes = 250_000_000u64;
+    let stats = sim.run_flows(&[
+        FlowSpec { qp: qp1, bytes, weight: 1.0 },
+        FlowSpec { qp: qp2, bytes, weight: 1.0 },
+    ]);
+    for s in &stats {
+        let rate = s.avg_rate_bps().unwrap();
+        assert!(
+            rate < 205e9,
+            "two flows can't both exceed half of a shared port: {rate:.3e}"
+        );
+    }
+    // Combined goodput ≈ the port rate if they truly shared one uplink,
+    // or 2×200G if ECMP split them across the dual-ToR ports. Both are
+    // legal; what's forbidden is exceeding 400G total.
+    let total: f64 = stats.iter().map(|s| s.avg_rate_bps().unwrap()).sum();
+    assert!(total <= 401e9);
+}
+
+#[test]
+fn incast_shares_receiver_port() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    // 4 senders on the same rail, all to GPU 0's NIC.
+    let specs: Vec<FlowSpec> = (1..=4)
+        .map(|i| {
+            let qp = qp_between(&mut sim, &topo, 32 * i, 0);
+            FlowSpec {
+                qp,
+                bytes: 125_000_000,
+                weight: 1.0,
+            }
+        })
+        .collect();
+    let stats = sim.run_flows(&specs);
+    let total: f64 = stats.iter().map(|s| s.avg_rate_bps().unwrap()).sum();
+    // Receiver NIC has 2×200G ports; senders hash across dual ToRs, so the
+    // ceiling is 400G and the floor (all on one port) is 200G.
+    assert!(total <= 401e9, "incast exceeded receiver capacity: {total:.3e}");
+    assert!(total >= 195e9);
+}
+
+#[test]
+fn link_failure_raises_err_cqe_and_aborts() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let qp = qp_between(&mut sim, &topo, 0, 32);
+    let id = sim
+        .inject(FlowSpec {
+            qp,
+            bytes: u64::MAX / 4, // effectively endless
+            weight: 1.0,
+        })
+        .unwrap();
+    // Fail the flow's first link shortly after start.
+    sim.run_until(SimTime::from_micros(10));
+    let first_link = sim.stats(id).path[0];
+    sim.fail_link_at(SimTime::from_micros(20), first_link);
+    sim.run_until_idle();
+
+    let st = sim.stats(id);
+    assert_eq!(st.state, FlowState::Failed);
+    let errs = sim.telemetry().err_cqe.clone();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].qp, qp);
+    // errCQE surfaces one RTO after the failure.
+    let expect = SimTime::from_micros(20) + sim.config().rto;
+    assert_eq!(errs[0].time, expect);
+}
+
+#[test]
+fn flows_injected_after_failure_also_error() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let qp = qp_between(&mut sim, &topo, 0, 32);
+    // Pre-fail every candidate first-hop link of the source NIC: kill the
+    // whole NIC so any hash choice dies.
+    let src = topo.gpu_nic(GpuId(0));
+    for &l in topo.out_links(src) {
+        sim.fail_link_at(SimTime::ZERO, l);
+    }
+    sim.run_until(SimTime::from_micros(1));
+    sim.inject(FlowSpec {
+        qp,
+        bytes: 1 << 20,
+        weight: 1.0,
+    })
+    .unwrap();
+    sim.run_until_idle();
+    assert_eq!(sim.telemetry().err_cqe.len(), 1);
+}
+
+#[test]
+fn degraded_host_triggers_pfc_and_slows_victims() {
+    let topo = fixture();
+    let cfg = NetConfig::default();
+    let mut sim = NetworkSim::new(&topo, cfg);
+
+    // Victim traffic: a healthy same-rail flow that shares the Agg→ToR
+    // downlink with traffic into the sick host.
+    // Sick host: host 0 (gpus 0..4). Congesting senders target gpu 0 from
+    // several blocks; victim goes to gpu 4 (host 1, same ToR pair).
+    let mut specs = Vec::new();
+    for i in 1..=3u32 {
+        let qp = qp_between(&mut sim, &topo, 32 * i, 0);
+        specs.push(FlowSpec {
+            qp,
+            bytes: 2_500_000_000,
+            weight: 1.0,
+        });
+    }
+    let victim_qp = qp_between(&mut sim, &topo, 32, 4);
+    // Degrade the sick host's ingress to 20%.
+    let affected = sim.degrade_host_at(SimTime::ZERO, HostId(0), 0.2);
+    assert!(!affected.is_empty());
+
+    for s in &specs {
+        sim.inject(*s).unwrap();
+    }
+    let victim = sim
+        .inject(FlowSpec {
+            qp: victim_qp,
+            bytes: 2_500_000_000,
+            weight: 1.0,
+        })
+        .unwrap();
+    sim.run_until_idle();
+
+    // PFC pause counters must have accumulated somewhere.
+    let pfc_total: u64 = sim.telemetry().link.iter().map(|c| c.pfc_pause_ns).sum();
+    assert!(pfc_total > 0, "degraded saturated drain must emit PFC pauses");
+
+    // The victim must have been slowed below its clean-network rate at some
+    // point (head-of-line loss), visible in its completion.
+    let v = sim.stats(victim);
+    assert_eq!(v.state, FlowState::Done);
+    let rate = v.avg_rate_bps().unwrap();
+    assert!(
+        rate < 200e9 * 0.99,
+        "victim unaffected by PFC HoL: {rate:.3e}"
+    );
+}
+
+#[test]
+fn int_probe_sees_congested_hops() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    // Saturate a path, then probe along it.
+    let qp = qp_between(&mut sim, &topo, 0, 32);
+    sim.inject(FlowSpec {
+        qp,
+        bytes: u64::MAX / 4,
+        weight: 1.0,
+    })
+    .unwrap();
+    sim.run_until(SimTime::from_millis(1));
+    let rec = sim.telemetry().qp_info[&qp].clone();
+    let probe = sim.int_probe(rec.src_nic, rec.dst_nic, rec.tuple.src_port);
+    assert!(probe.reached);
+    assert_eq!(probe.hops.len(), 4);
+    // The saturated bottleneck hop should report a large queueing delay.
+    let max_delay = probe.hops.iter().map(|h| h.delay).max().unwrap();
+    assert!(
+        max_delay >= SimDuration::from_micros(100),
+        "saturated hop delay too small: {max_delay}"
+    );
+    // An idle pair's probe shows only propagation-scale delays.
+    let idle = sim.int_probe(
+        topo.gpu_nic(GpuId(8)),
+        topo.gpu_nic(GpuId(40)),
+        50_000,
+    );
+    assert!(idle.reached);
+    for h in idle.hops {
+        assert!(h.delay < SimDuration::from_micros(10));
+    }
+}
+
+#[test]
+fn qp_ms_rate_sampling_works() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let qp = qp_between(&mut sim, &topo, 0, 32);
+    // 25 MB at 200G ≈ 1 ms.
+    sim.run_flows(&[FlowSpec {
+        qp,
+        bytes: 25_000_000,
+        weight: 1.0,
+    }]);
+    let series = &sim.telemetry().qp_bytes[&qp];
+    let total: f64 = series.points().iter().map(|&(_, v)| v).sum();
+    assert!((total - 25_000_000.0).abs() < 1.0, "sampled {total}");
+}
+
+#[test]
+fn controller_loop_reduces_ecn_rounds() {
+    // Miniature Figure 17: repeated collective rounds with colliding sports;
+    // each controller round reassigns ports of flows on hot links; ECN marks
+    // per round must decrease (or reach zero).
+    let topo = fixture();
+    let p = AstralParams::sim_small();
+    let gpb = p.hosts_per_block as u32 * p.rails as u32;
+    let ctl = EcmpController::default();
+
+    // Traffic: 8 same-rail cross-block pairs, all with one sport (worst
+    // case collision).
+    let mut flows: Vec<PlannedFlow> = (0..8)
+        .map(|i| PlannedFlow {
+            src: topo.gpu_nic(GpuId(i * p.rails as u32)),
+            dst: topo.gpu_nic(GpuId(gpb + i * p.rails as u32)),
+            bytes: 125_000_000,
+            sport: 50_000,
+        })
+        .collect();
+
+    let mut ecn_per_round = Vec::new();
+    for _round in 0..4 {
+        let mut sim = NetworkSim::new(&topo, NetConfig::default());
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|f| {
+                let qp = sim.register_qp(f.src, f.dst, f.sport, QpContext::anonymous());
+                FlowSpec {
+                    qp,
+                    bytes: f.bytes,
+                    weight: 1.0,
+                }
+            })
+            .collect();
+        for s in &specs {
+            sim.inject(*s).unwrap();
+        }
+        sim.run_until_idle();
+        let ecn: u64 = sim.telemetry().link.iter().map(|c| c.ecn_marks).sum();
+        ecn_per_round.push(ecn);
+
+        let hot: Vec<LinkId> = sim
+            .telemetry()
+            .hottest_links_by_ecn(4)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        ctl.rebalance(&topo, sim.router(), &sim.config().hasher, &mut flows, &hot);
+    }
+    assert!(
+        ecn_per_round.last().unwrap() < ecn_per_round.first().unwrap()
+            || ecn_per_round[0] == 0,
+        "ECN did not decrease over controller rounds: {ecn_per_round:?}"
+    );
+}
+
+#[test]
+fn loopback_flow_completes_instantly() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let nic = topo.gpu_nic(GpuId(0));
+    let qp = sim.register_qp_auto(nic, nic, QpContext::anonymous());
+    let stats = sim.run_flows(&[FlowSpec {
+        qp,
+        bytes: 1 << 30,
+        weight: 1.0,
+    }]);
+    assert_eq!(stats[0].state, FlowState::Done);
+    assert_eq!(stats[0].fct(), Some(SimDuration::ZERO));
+}
+
+#[test]
+fn weighted_flows_split_proportionally() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let src = topo.gpu_nic(GpuId(0));
+    let qp1 = sim.register_qp(src, topo.gpu_nic(GpuId(128)), 50_000, QpContext::anonymous());
+    let qp2 = sim.register_qp(src, topo.gpu_nic(GpuId(128)), 50_000, QpContext::anonymous());
+    // Identical tuples → identical path → shared bottleneck, weights 1:3.
+    let big = sim
+        .inject(FlowSpec {
+            qp: qp2,
+            bytes: 300_000_000,
+            weight: 3.0,
+        })
+        .unwrap();
+    let small = sim
+        .inject(FlowSpec {
+            qp: qp1,
+            bytes: 100_000_000,
+            weight: 1.0,
+        })
+        .unwrap();
+    sim.run_until_idle();
+    // With a 1:3 split both should finish at the same moment.
+    let (fs, fb) = (sim.stats(small), sim.stats(big));
+    let (ts, tb) = (
+        fs.finish.unwrap().as_nanos() as f64,
+        fb.finish.unwrap().as_nanos() as f64,
+    );
+    assert!(
+        ((ts - tb) / ts).abs() < 0.01,
+        "weighted co-finish violated: {ts} vs {tb}"
+    );
+}

@@ -1,0 +1,22 @@
+//! # astral-power — the distributed HVDC power substrate
+//!
+//! Reproduces the power side of Astral's physical deployment (§2.2, §5):
+//!
+//! * [`PowerChain`] — AC/UPS vs HVDC delivery efficiency chains.
+//! * [`HvdcUnit`] — per-row distributed HVDC with the 30% elastic rack
+//!   budget and battery smoothing of training load swings (Figure 4).
+//! * [`power_trace`] — GPU power traces from Seer timelines (Figure 15)
+//!   and the daily tidal model with night-scheduled training (Figure 16).
+//! * [`RenewableFleet`] — solar/wind supplement and CO₂ accounting.
+
+#![warn(missing_docs)]
+
+mod hvdc;
+mod renewable;
+mod trace;
+
+pub use hvdc::{HvdcUnit, PowerChain, RackPower};
+pub use renewable::{
+    co2_avoided_kg, paper_renewable_kwh, RenewableFleet, GRID_KG_CO2_PER_KWH,
+};
+pub use trace::{peak_over_tdp, power_trace, DailyLoadModel, PowerIntensity};

@@ -1,0 +1,106 @@
+//! Basic modeling (paper Appendix E).
+//!
+//! The atomic operation times Seer starts from before self-correction:
+//!
+//! * Eq. 1 — matrix multiplication: `T = (2n−1)·m·p / flops`
+//! * Eq. 2 — matrix addition: `T = m·n / flops`
+//! * Eq. 3 — memory access: `T = m·n·f / hbm_bw`
+//! * Eq. 4 — TP communication: `T = b·s·h·f / net_bw`
+//! * Eq. 5 — PP communication: `T = (b·s·h·f / tp) / net_bw`
+//! * Eq. 6 — DP communication: `T = (P·f / (tp·pp)) / net_bw`
+//!
+//! `f` is the element width in **bits**; bandwidths are in bits/s for
+//! network and the same convention is used for HBM here (callers convert).
+
+/// Eq. 1: time of an `m×n · n×p` matrix multiplication at `flops` FLOP/s.
+pub fn t_multiplication(m: u64, n: u64, p: u64, flops: f64) -> f64 {
+    debug_assert!(flops > 0.0);
+    (2 * n - 1) as f64 * m as f64 * p as f64 / flops
+}
+
+/// Eq. 2: time of an `m×n` matrix addition.
+pub fn t_addition(m: u64, n: u64, flops: f64) -> f64 {
+    debug_assert!(flops > 0.0);
+    m as f64 * n as f64 / flops
+}
+
+/// Eq. 3: time to move an `m×n` matrix of `f`-bit elements through HBM at
+/// `hbm_bw` bits/s.
+pub fn t_mem(m: u64, n: u64, f_bits: u32, hbm_bw_bits: f64) -> f64 {
+    debug_assert!(hbm_bw_bits > 0.0);
+    m as f64 * n as f64 * f_bits as f64 / hbm_bw_bits
+}
+
+/// Eq. 4: TP collective time for a `b×s×h` activation of `f`-bit elements.
+pub fn t_tp_comm(b: u64, s: u64, h: u64, f_bits: u32, net_bw: f64) -> f64 {
+    debug_assert!(net_bw > 0.0);
+    (b * s * h) as f64 * f_bits as f64 / net_bw
+}
+
+/// Eq. 5: PP point-to-point time (the boundary tensor is sharded over TP).
+pub fn t_pp_comm(b: u64, s: u64, h: u64, f_bits: u32, tp_groups: u32, net_bw: f64) -> f64 {
+    debug_assert!(net_bw > 0.0 && tp_groups > 0);
+    (b * s * h) as f64 * f_bits as f64 / tp_groups as f64 / net_bw
+}
+
+/// Eq. 6: DP gradient synchronization time for `model_para_num` parameters
+/// sharded over `tp·pp`.
+pub fn t_dp_comm(
+    model_para_num: u64,
+    f_bits: u32,
+    tp_groups: u32,
+    pp_groups: u32,
+    net_bw: f64,
+) -> f64 {
+    debug_assert!(net_bw > 0.0 && tp_groups > 0 && pp_groups > 0);
+    model_para_num as f64 * f_bits as f64 / (tp_groups as f64 * pp_groups as f64) / net_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matmul() {
+        // 2×3 · 3×4 at 1 FLOP/s: (2·3−1)·2·4 = 40 s.
+        assert_eq!(t_multiplication(2, 3, 4, 1.0), 40.0);
+        // Scaling with flops.
+        assert_eq!(t_multiplication(2, 3, 4, 10.0), 4.0);
+    }
+
+    #[test]
+    fn eq2_addition() {
+        assert_eq!(t_addition(5, 6, 2.0), 15.0);
+    }
+
+    #[test]
+    fn eq3_memory() {
+        // 1024×1024 fp16 through 1 Tbit/s: 2²⁰·16/1e12 s.
+        let t = t_mem(1024, 1024, 16, 1e12);
+        assert!((t - (1 << 20) as f64 * 16.0 / 1e12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eq4_to_eq6_relationships() {
+        let (b, s, h, f) = (4u64, 2048u64, 8192u64, 16u32);
+        let bw = 400e9;
+        let tp = t_tp_comm(b, s, h, f, bw);
+        let pp = t_pp_comm(b, s, h, f, 8, bw);
+        assert!((tp / pp - 8.0).abs() < 1e-9, "PP is the TP tensor / tp");
+        let dp = t_dp_comm(175_000_000_000, f, 8, 16, bw);
+        assert!(dp > 0.0);
+        // DP moves parameters, independent of batch.
+        assert_eq!(
+            t_dp_comm(100, f, 2, 2, bw),
+            100.0 * 16.0 / 4.0 / bw
+        );
+    }
+
+    #[test]
+    fn times_scale_inversely_with_bandwidth() {
+        assert_eq!(
+            t_tp_comm(1, 1024, 1024, 16, 100e9) / t_tp_comm(1, 1024, 1024, 16, 400e9),
+            4.0
+        );
+    }
+}

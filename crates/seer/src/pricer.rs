@@ -1,0 +1,270 @@
+//! Seer's operator pricing: basic modeling × calibration.
+//!
+//! [`ModelPricer`] turns an operator into seconds using the Appendix-E
+//! decomposition: tensor volume over bandwidth — where "bandwidth" is the
+//! device peak multiplied by the calibrated efficiency for that operator
+//! class and size. With [`Calibration::ideal`] this is exactly the
+//! uncorrected basic model.
+
+use crate::calibrate::{Calibration, CommKind, CommScope};
+use crate::suites::{GpuSpec, NetworkSpec};
+use crate::timeline::OpPricer;
+use astral_collectives::cost;
+use astral_model::{Collective, GroupKind, OpKind, Operator, ParallelismConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything Seer needs to price operators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeerConfig {
+    /// GPU device model.
+    pub gpu: GpuSpec,
+    /// Network environment.
+    pub net: NetworkSpec,
+    /// Efficiency calibration (use [`Calibration::ideal`] for the
+    /// uncorrected basic model).
+    pub calibration: Calibration,
+}
+
+impl SeerConfig {
+    /// H100 GPUs on the Astral fabric, uncalibrated.
+    pub fn h100_astral_basic() -> Self {
+        SeerConfig {
+            gpu: GpuSpec::h100(),
+            net: NetworkSpec::astral(),
+            calibration: Calibration::ideal(),
+        }
+    }
+}
+
+/// How many *consecutive GPU slots* a communicator's groups span under the
+/// Megatron rank order (tp fastest, then dp, then pp).
+pub fn span_of(group: GroupKind, group_size: u32, par: &ParallelismConfig) -> u32 {
+    match group {
+        GroupKind::Tp => group_size,
+        // DP ranks stride by tp; EP is a sub-range of DP.
+        GroupKind::Dp | GroupKind::Ep => group_size.saturating_mul(par.tp),
+        // PP peers are tp·dp apart.
+        GroupKind::Pp => par.tp.saturating_mul(par.dp).saturating_add(1),
+    }
+}
+
+/// Map a communicator to the calibration scope its traffic lives in.
+///
+/// Under the Megatron rank order, DP/EP communicators stride by `tp`, so
+/// when `tp` is a multiple of the rail count their members sit on the same
+/// rail — their traffic never needs a Core switch. TP groups are
+/// contiguous and hence cross rails once they outgrow the NVLink domain.
+pub fn scope_of(
+    group: GroupKind,
+    span: u32,
+    net: &NetworkSpec,
+    par: &ParallelismConfig,
+) -> CommScope {
+    if let Some(x) = net.crossdc {
+        if x.affected == group {
+            return CommScope::CrossDc;
+        }
+    }
+    if span <= net.hb_domain {
+        return CommScope::Nvlink;
+    }
+    let rails = net.rails.max(1);
+    let rail_aligned = |stride: u32| stride % rails == 0;
+    match group {
+        GroupKind::Tp => CommScope::CrossRail,
+        GroupKind::Dp | GroupKind::Ep => {
+            if rail_aligned(par.tp) {
+                CommScope::Rail
+            } else {
+                CommScope::CrossRail
+            }
+        }
+        GroupKind::Pp => {
+            if rail_aligned(par.tp.saturating_mul(par.dp)) {
+                CommScope::Rail
+            } else {
+                // PXN relays keep the network hop same-rail regardless.
+                CommScope::Rail
+            }
+        }
+    }
+}
+
+/// The model-based pricer.
+#[derive(Debug, Clone)]
+pub struct ModelPricer<'a> {
+    /// Configuration to price with.
+    pub cfg: &'a SeerConfig,
+}
+
+impl OpPricer for ModelPricer<'_> {
+    fn duration(&self, op: &Operator, par: &ParallelismConfig) -> f64 {
+        let gpu = &self.cfg.gpu;
+        let cal = &self.cfg.calibration;
+        match op.kind {
+            OpKind::Compute { flops } => {
+                flops / (gpu.peak_flops * cal.compute.efficiency(flops))
+            }
+            OpKind::Memory { bytes } => {
+                bytes as f64 / (gpu.hbm_bw * cal.memory.efficiency(bytes as f64))
+            }
+            OpKind::Fused { flops, bytes } => {
+                // Roofline: the kernel is bound by the slower of its two
+                // resource demands.
+                let tc = flops / (gpu.peak_flops * cal.compute.efficiency(flops));
+                let tm = bytes as f64 / (gpu.hbm_bw * cal.memory.efficiency(bytes as f64));
+                tc.max(tm)
+            }
+            OpKind::Comm {
+                coll,
+                group,
+                group_size,
+                bytes,
+            } => {
+                let span = span_of(group, group_size, par);
+                let stride = match group {
+                    GroupKind::Tp => 1,
+                    GroupKind::Dp | GroupKind::Ep => par.tp,
+                    GroupKind::Pp => par.tp.saturating_mul(par.dp),
+                };
+                let (bw, alpha) = self.cfg.net.blended_link_for(group, group_size, stride);
+                let scope = scope_of(group, span, &self.cfg.net, par);
+                let kind = match coll {
+                    Collective::AllToAll => CommKind::AllToAll,
+                    Collective::Send | Collective::Recv => CommKind::PointToPoint,
+                    _ => CommKind::Ring,
+                };
+                let (eff, alpha_cal) = cal.comm_params(scope, kind, bytes);
+                let eff_bw = bw * eff;
+                let alpha = alpha_cal.unwrap_or(alpha);
+                let n = group_size as usize;
+                match coll {
+                    Collective::AllReduce => cost::all_reduce(n, bytes, eff_bw, alpha),
+                    Collective::ReduceScatter => {
+                        cost::reduce_scatter(n, bytes, eff_bw, alpha)
+                    }
+                    Collective::AllGather => cost::all_gather(n, bytes, eff_bw, alpha),
+                    Collective::AllToAll => cost::all_to_all(n, bytes, eff_bw, alpha),
+                    Collective::Broadcast => cost::broadcast(n, bytes, eff_bw, alpha),
+                    Collective::Send => cost::send_recv(bytes, eff_bw, alpha),
+                    // The transfer is priced on the Send; Recv models the
+                    // completion handshake.
+                    Collective::Recv => alpha,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::EfficiencyCurve;
+    use astral_model::{OpId, OperatorGraph};
+
+    fn op(kind: OpKind) -> Operator {
+        let mut g = OperatorGraph::new(1);
+        let id = g.push("x", 0, kind, vec![]);
+        assert_eq!(id, OpId(0));
+        g.ops.remove(0)
+    }
+
+    fn par() -> ParallelismConfig {
+        ParallelismConfig::new(8, 4, 4)
+    }
+
+    #[test]
+    fn compute_pricing_is_flops_over_peak_when_ideal() {
+        let cfg = SeerConfig::h100_astral_basic();
+        let p = ModelPricer { cfg: &cfg };
+        let t = p.duration(&op(OpKind::Compute { flops: 1e12 }), &par());
+        assert!((t - 1e12 / cfg.gpu.peak_flops).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_is_roofline_max() {
+        let cfg = SeerConfig::h100_astral_basic();
+        let p = ModelPricer { cfg: &cfg };
+        // Memory-bound fused op: tiny flops, huge bytes.
+        let t = p.duration(
+            &op(OpKind::Fused {
+                flops: 1e6,
+                bytes: 1 << 30,
+            }),
+            &par(),
+        );
+        let tm = (1u64 << 30) as f64 / cfg.gpu.hbm_bw;
+        assert!((t - tm).abs() / tm < 1e-9);
+    }
+
+    #[test]
+    fn tp_inside_hb_domain_prices_at_nvlink() {
+        let cfg = SeerConfig::h100_astral_basic();
+        let p = ModelPricer { cfg: &cfg };
+        let comm = |group, group_size| {
+            op(OpKind::Comm {
+                coll: Collective::AllReduce,
+                group,
+                group_size,
+                bytes: 1 << 26,
+            })
+        };
+        let t_tp = p.duration(&comm(GroupKind::Tp, 8), &par());
+        let t_dp = p.duration(&comm(GroupKind::Dp, 8), &par());
+        // Same collective, same bytes: TP (NVLink) ≪ DP (rail).
+        assert!(t_tp < t_dp / 3.0, "tp {t_tp} dp {t_dp}");
+    }
+
+    #[test]
+    fn calibration_slows_predictions() {
+        let mut cfg = SeerConfig::h100_astral_basic();
+        cfg.calibration.compute = EfficiencyCurve::constant(0.5);
+        let p = ModelPricer { cfg: &cfg };
+        let t = p.duration(&op(OpKind::Compute { flops: 1e12 }), &par());
+        assert!((t - 2e12 / cfg.gpu.peak_flops).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossdc_affects_only_selected_group() {
+        let mut cfg = SeerConfig::h100_astral_basic();
+        cfg.net = cfg.net.with_crossdc(GroupKind::Dp, 16.0, 300.0);
+        let p = ModelPricer { cfg: &cfg };
+        let mk = |group| {
+            op(OpKind::Comm {
+                coll: Collective::AllReduce,
+                group,
+                group_size: 32,
+                bytes: 1 << 28,
+            })
+        };
+        let t_dp = p.duration(&mk(GroupKind::Dp), &par());
+        let t_ep = p.duration(&mk(GroupKind::Ep), &par());
+        assert!(t_dp > t_ep, "cross-DC DP must be slower");
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let par = par(); // tp=8, pp=4, dp=4
+        assert_eq!(span_of(GroupKind::Tp, 8, &par), 8);
+        assert_eq!(span_of(GroupKind::Dp, 4, &par), 32);
+        assert_eq!(span_of(GroupKind::Ep, 2, &par), 16);
+        assert_eq!(span_of(GroupKind::Pp, 2, &par), 33);
+    }
+
+    #[test]
+    fn ep_scope_follows_rail_alignment() {
+        let net = crate::suites::NetworkSpec::astral(); // 8 rails, hb 8
+        // tp = 8 = rails: EP members stride 8 → rail-aligned.
+        let aligned = ParallelismConfig::new(8, 2, 8);
+        assert_eq!(
+            scope_of(GroupKind::Ep, 64, &net, &aligned),
+            crate::calibrate::CommScope::Rail
+        );
+        // tp = 4: EP members hop rails → CrossRail.
+        let misaligned = ParallelismConfig::new(4, 2, 8);
+        assert_eq!(
+            scope_of(GroupKind::Ep, 32, &net, &misaligned),
+            crate::calibrate::CommScope::CrossRail
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Least-squares polynomial fitting.
+//!
+//! Seer's self-correction (paper §4.3) replaces theoretical bandwidth with a
+//! *polynomial curve fit on measured throughput*. This module provides that
+//! fit: ordinary least squares over a Vandermonde system solved by Gaussian
+//! elimination with partial pivoting. Degrees in this workspace are small
+//! (≤ 4) and predictors are rescaled, so the plain normal-equation approach
+//! is numerically comfortable.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted polynomial `c0 + c1 x + c2 x² + …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Build from low-to-high coefficients.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Coefficients, constant term first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluate at `x` (Horner's method).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+/// Errors from [`polyfit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients to determine.
+    TooFewSamples {
+        /// Samples provided.
+        have: usize,
+        /// Samples required (degree + 1).
+        need: usize,
+    },
+    /// Mismatched x/y lengths.
+    LengthMismatch,
+    /// The normal-equation system was singular (e.g. duplicate x values
+    /// insufficient to pin down the requested degree).
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples { have, need } => {
+                write!(f, "polyfit needs at least {need} samples, got {have}")
+            }
+            FitError::LengthMismatch => write!(f, "x and y must be the same length"),
+            FitError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fit a polynomial of the given `degree` to `(x, y)` samples by ordinary
+/// least squares.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let n_coeffs = degree + 1;
+    if xs.len() < n_coeffs {
+        return Err(FitError::TooFewSamples {
+            have: xs.len(),
+            need: n_coeffs,
+        });
+    }
+
+    // Normal equations: (VᵀV) c = Vᵀy where V is the Vandermonde matrix.
+    let mut ata = vec![vec![0.0; n_coeffs]; n_coeffs];
+    let mut aty = vec![0.0; n_coeffs];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut pow = vec![1.0; 2 * n_coeffs - 1];
+        for i in 1..pow.len() {
+            pow[i] = pow[i - 1] * x;
+        }
+        for (r, ata_row) in ata.iter_mut().enumerate() {
+            for (c, cell) in ata_row.iter_mut().enumerate() {
+                *cell += pow[r + c];
+            }
+            aty[r] += pow[r] * y;
+        }
+    }
+
+    let coeffs = solve(ata, aty)?;
+    Ok(Polynomial::new(coeffs))
+}
+
+/// Solve the dense linear system `A x = b` with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: pick the largest |a[row][col]| at or below the diagonal.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(FitError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Coefficient of determination (R²) of a fit against samples.
+pub fn r_squared(poly: &Polynomial, xs: &[f64], ys: &[f64]) -> f64 {
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (y - poly.eval(x)).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        if ss_res <= f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quadratic_is_recovered() {
+        // y = 2 + 3x - 0.5x²
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x - 0.5 * x * x).collect();
+        let p = polyfit(&xs, &ys, 2).unwrap();
+        assert!((p.coeffs()[0] - 2.0).abs() < 1e-8);
+        assert!((p.coeffs()[1] - 3.0).abs() < 1e-8);
+        assert!((p.coeffs()[2] + 0.5).abs() < 1e-8);
+        assert!(r_squared(&p, &xs, &ys) > 0.999999);
+    }
+
+    #[test]
+    fn linear_fit_of_noisy_data() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Deterministic "noise" that averages out.
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 5.0 + 2.0 * x + if x as u64 % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let p = polyfit(&xs, &ys, 1).unwrap();
+        assert!((p.coeffs()[0] - 5.0).abs() < 0.05);
+        assert!((p.coeffs()[1] - 2.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        assert_eq!(
+            polyfit(&[1.0], &[2.0], 2),
+            Err(FitError::TooFewSamples { have: 1, need: 3 })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        assert_eq!(polyfit(&[1.0, 2.0], &[1.0], 0), Err(FitError::LengthMismatch));
+    }
+
+    #[test]
+    fn duplicate_xs_singular_for_high_degree() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [1.0, 1.0, 1.0];
+        assert_eq!(polyfit(&xs, &ys, 2), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn constant_fit_is_the_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 12.0, 8.0, 10.0];
+        let p = polyfit(&xs, &ys, 0).unwrap();
+        assert!((p.eval(99.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        let p = Polynomial::new(vec![1.0, -2.0, 1.0]); // (x-1)²
+        assert!((p.eval(1.0)).abs() < 1e-12);
+        assert!((p.eval(3.0) - 4.0).abs() < 1e-12);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn bandwidth_efficiency_shape() {
+        // A saturating throughput curve like the ones Seer calibrates:
+        // eff(log2 size) rises then flattens. Degree-3 fit should track it
+        // to within a few percent across the sampled range.
+        let xs: Vec<f64> = (10..=30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - (-0.3 * (x - 8.0)).exp()).collect();
+        let p = polyfit(&xs, &ys, 4).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((p.eval(x) - y).abs() < 0.05, "x={x}: {} vs {y}", p.eval(x));
+        }
+    }
+}

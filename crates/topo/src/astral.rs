@@ -1,0 +1,447 @@
+//! The Astral network architecture (paper §2.1, Figure 3).
+//!
+//! Three design principles drive the wiring:
+//!
+//! * **P1 — same-rail aggregation maximizes Pod size.** The two same-rail
+//!   ToR switches of every block connect to two dedicated groups of
+//!   aggregation switches, so one Pod carries up to 8K GPUs *per rail*
+//!   (64K total at paper scale) reachable without crossing a Core switch.
+//! * **P2 — identical aggregated bandwidth across all tiers.** ToR, Agg and
+//!   Core layers all move the same aggregate bit rate; there is no
+//!   oversubscription knob in this builder, by design.
+//! * **P3 — each NIC port lands on a different ToR switch** (dual-ToR), so a
+//!   single optical module failure degrades a NIC to half bandwidth instead
+//!   of severing it.
+//!
+//! The builder is fully parameterized so the same wiring rules produce the
+//! paper-scale fabric (512K GPUs — checked arithmetically) and the scaled
+//! instances that the figure harnesses actually simulate.
+
+use crate::graph::{HbDomainSpec, Topology, GBPS};
+use crate::ids::{DcId, NodeId, NodeKind};
+use astral_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an Astral fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AstralParams {
+    /// Number of Pods.
+    pub pods: u16,
+    /// Blocks per Pod (64 at paper scale).
+    pub blocks_per_pod: u16,
+    /// GPU servers per block (128 at paper scale).
+    pub hosts_per_block: u16,
+    /// Rails = GPUs = NICs per host (8 at paper scale).
+    pub rails: u8,
+    /// ToR switches per rail per block (2 = the paper's dual-ToR design).
+    pub tors_per_rail: u8,
+    /// Per-NIC-port rate in Gbit/s (200 at paper scale; each NIC has
+    /// `tors_per_rail` ports).
+    pub nic_port_gbps: f64,
+    /// ToR–Agg and Agg–Core link rate in Gbit/s (400 at paper scale).
+    pub fabric_gbps: f64,
+    /// Per-hop one-way latency (propagation + forwarding).
+    pub link_latency: SimDuration,
+    /// Intra-host interconnect.
+    pub hb: HbDomainSpec,
+}
+
+impl AstralParams {
+    /// The production deployment described in the paper: 8 Pods × 64 blocks
+    /// × 128 hosts × 8 GPUs = 512K GPUs. Do not `build()` this casually —
+    /// it creates ~0.5M NIC nodes; use [`AstralScale`] for the arithmetic.
+    pub fn paper_scale() -> Self {
+        AstralParams {
+            pods: 8,
+            blocks_per_pod: 64,
+            hosts_per_block: 128,
+            rails: 8,
+            tors_per_rail: 2,
+            nic_port_gbps: 200.0,
+            fabric_gbps: 400.0,
+            link_latency: SimDuration::from_nanos(600),
+            hb: HbDomainSpec::default(),
+        }
+    }
+
+    /// A small instance for unit tests: 2 Pods × 4 blocks × 8 hosts ×
+    /// 4 rails = 256 GPUs.
+    pub fn sim_small() -> Self {
+        AstralParams {
+            pods: 2,
+            blocks_per_pod: 4,
+            hosts_per_block: 8,
+            rails: 4,
+            tors_per_rail: 2,
+            nic_port_gbps: 200.0,
+            fabric_gbps: 400.0,
+            link_latency: SimDuration::from_nanos(600),
+            hb: HbDomainSpec {
+                gpus_per_domain: 4,
+                ..HbDomainSpec::default()
+            },
+        }
+    }
+
+    /// A medium instance for figure harnesses: 2 Pods × 8 blocks × 16 hosts
+    /// × 8 rails = 2048 GPUs.
+    pub fn sim_medium() -> Self {
+        AstralParams {
+            pods: 2,
+            blocks_per_pod: 8,
+            hosts_per_block: 16,
+            rails: 8,
+            tors_per_rail: 2,
+            nic_port_gbps: 200.0,
+            fabric_gbps: 400.0,
+            link_latency: SimDuration::from_nanos(600),
+            hb: HbDomainSpec::default(),
+        }
+    }
+
+    /// Aggregation switches per group, derived from the identical-bandwidth
+    /// constraint: ToR uplink capacity must equal ToR downlink capacity.
+    pub fn aggs_per_group(&self) -> u16 {
+        let aggs = self.hosts_per_block as f64 * self.nic_port_gbps / self.fabric_gbps;
+        assert!(
+            (aggs.fract()).abs() < 1e-9 && aggs >= 1.0,
+            "hosts_per_block × nic_port must be a positive multiple of fabric link rate"
+        );
+        aggs as u16
+    }
+
+    /// Aggregation groups per Pod: one per (rail, ToR side).
+    pub fn agg_groups(&self) -> u16 {
+        self.rails as u16 * self.tors_per_rail as u16
+    }
+
+    /// Core switches per core group, derived from Agg uplink = Agg downlink.
+    pub fn cores_per_group(&self) -> u16 {
+        self.blocks_per_pod
+    }
+
+    /// Number of core groups: Agg rank *k* wires to core group *k*.
+    pub fn core_groups(&self) -> u16 {
+        self.aggs_per_group()
+    }
+
+    /// Closed-form scale arithmetic (Figure 3 numbers).
+    pub fn scale(&self) -> AstralScale {
+        let gpus_per_block = self.hosts_per_block as u64 * self.rails as u64;
+        let gpus_per_pod = gpus_per_block * self.blocks_per_pod as u64;
+        let aggs_per_group = self.aggs_per_group() as u64;
+        AstralScale {
+            gpus_per_block,
+            gpus_per_pod,
+            gpus_total: gpus_per_pod * self.pods as u64,
+            same_rail_gpus_per_pod: self.hosts_per_block as u64 * self.blocks_per_pod as u64,
+            tors_per_block: self.rails as u64 * self.tors_per_rail as u64,
+            tors_per_pod: self.rails as u64
+                * self.tors_per_rail as u64
+                * self.blocks_per_pod as u64,
+            aggs_per_pod: self.agg_groups() as u64 * aggs_per_group,
+            cores_total: self.core_groups() as u64 * self.cores_per_group() as u64,
+            tor_capacity_gbps: self.hosts_per_block as f64 * self.nic_port_gbps * 2.0,
+            agg_capacity_gbps: self.blocks_per_pod as f64 * self.fabric_gbps * 2.0,
+            core_capacity_gbps: self.pods as f64 * self.agg_groups() as f64 * self.fabric_gbps,
+        }
+    }
+}
+
+/// Closed-form sizes of an Astral fabric (see Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AstralScale {
+    /// GPUs in one block (1024 at paper scale).
+    pub gpus_per_block: u64,
+    /// GPUs in one Pod (65,536 at paper scale).
+    pub gpus_per_pod: u64,
+    /// GPUs in the whole cluster (524,288 at paper scale).
+    pub gpus_total: u64,
+    /// GPUs on one rail reachable within a Pod (8,192 at paper scale) —
+    /// the paper's "largest scale of same-rank GPU-to-GPU communication".
+    pub same_rail_gpus_per_pod: u64,
+    /// ToR switches per block (16 at paper scale).
+    pub tors_per_block: u64,
+    /// ToR switches per Pod.
+    pub tors_per_pod: u64,
+    /// Aggregation switches per Pod (1,024 at paper scale).
+    pub aggs_per_pod: u64,
+    /// Core switches in the cluster (4,096 at paper scale).
+    pub cores_total: u64,
+    /// Switching capacity consumed per ToR in Gbit/s (51,200 = 51.2T).
+    pub tor_capacity_gbps: f64,
+    /// Switching capacity consumed per Agg in Gbit/s (51.2T).
+    pub agg_capacity_gbps: f64,
+    /// Downlink port capacity consumed per Core in Gbit/s (51.2T).
+    pub core_capacity_gbps: f64,
+}
+
+/// Build the Astral fabric for one datacenter (`dc`), appending into `topo`.
+///
+/// Exposed separately so the cross-DC extension can lay several DCs into a
+/// single graph; most callers want [`build_astral`].
+pub fn build_astral_dc(topo: &mut Topology, dc: DcId, p: &AstralParams) -> AstralDcHandles {
+    let aggs_per_group = p.aggs_per_group();
+    let groups = p.agg_groups();
+    let cores_per_group = p.cores_per_group();
+    let core_groups = p.core_groups();
+    let nic_bw = p.nic_port_gbps * GBPS;
+    let fabric_bw = p.fabric_gbps * GBPS;
+    let lat = p.link_latency;
+
+    // Core tier: one set per DC, shared by all its Pods.
+    let mut cores = vec![vec![NodeId(0); cores_per_group as usize]; core_groups as usize];
+    for (g, row) in cores.iter_mut().enumerate() {
+        for (r, slot) in row.iter_mut().enumerate() {
+            *slot = topo.add_node(NodeKind::Core {
+                dc,
+                group: g as u16,
+                rank: r as u16,
+            });
+        }
+    }
+
+    let mut all_tors = Vec::new();
+    let mut all_aggs = Vec::new();
+
+    for pod in 0..p.pods {
+        // Aggregation tier: `groups` groups of `aggs_per_group` switches.
+        let mut aggs = vec![vec![NodeId(0); aggs_per_group as usize]; groups as usize];
+        for (g, row) in aggs.iter_mut().enumerate() {
+            for (k, slot) in row.iter_mut().enumerate() {
+                let agg = topo.add_node(NodeKind::Agg {
+                    dc,
+                    pod,
+                    group: g as u16,
+                    rank: k as u16,
+                });
+                *slot = agg;
+                all_aggs.push(agg);
+                // Agg rank k uplinks to every core of core group k.
+                for &core in &cores[k % core_groups as usize] {
+                    topo.add_duplex(agg, core, fabric_bw, lat);
+                }
+            }
+        }
+
+        for block in 0..p.blocks_per_pod {
+            // ToRs: one per (rail, side).
+            let mut tors = vec![NodeId(0); groups as usize];
+            for rail in 0..p.rails {
+                for side in 0..p.tors_per_rail {
+                    let g = (rail as u16) * p.tors_per_rail as u16 + side as u16;
+                    let tor = topo.add_node(NodeKind::Tor {
+                        dc,
+                        pod,
+                        block,
+                        rail,
+                        side,
+                    });
+                    tors[g as usize] = tor;
+                    all_tors.push(tor);
+                    // P1: the same-rail ToR uplinks to every Agg of *its own*
+                    // group — this is the same-rail aggregation.
+                    for &agg in &aggs[g as usize] {
+                        topo.add_duplex(tor, agg, fabric_bw, lat);
+                    }
+                }
+            }
+
+            for _host in 0..p.hosts_per_block {
+                let mut nics = Vec::with_capacity(p.rails as usize);
+                for rail in 0..p.rails {
+                    let host_id = crate::ids::HostId(topo.hosts().len() as u32);
+                    let nic = topo.add_node(NodeKind::Nic {
+                        host: host_id,
+                        rail,
+                    });
+                    // P3: each NIC port lands on a *different* ToR.
+                    for side in 0..p.tors_per_rail {
+                        let g = (rail as u16) * p.tors_per_rail as u16 + side as u16;
+                        topo.add_duplex(nic, tors[g as usize], nic_bw, lat);
+                    }
+                    nics.push(nic);
+                }
+                topo.add_host(dc, pod, block, nics);
+            }
+        }
+    }
+
+    AstralDcHandles {
+        cores: cores.into_iter().flatten().collect(),
+        tors: all_tors,
+        aggs: all_aggs,
+    }
+}
+
+/// Switch handles returned by [`build_astral_dc`], used by the cross-DC
+/// extension to attach gateways.
+#[derive(Debug, Clone)]
+pub struct AstralDcHandles {
+    /// All core switches of the DC.
+    pub cores: Vec<NodeId>,
+    /// All ToR switches of the DC.
+    pub tors: Vec<NodeId>,
+    /// All aggregation switches of the DC.
+    pub aggs: Vec<NodeId>,
+}
+
+/// Build a single-datacenter Astral fabric.
+pub fn build_astral(p: &AstralParams) -> Topology {
+    let mut topo = Topology::new("astral", p.rails, p.hb);
+    build_astral_dc(&mut topo, DcId(0), p);
+    topo.validate().expect("astral builder produced an invalid fabric");
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GpuId;
+
+    #[test]
+    fn paper_scale_matches_figure_3() {
+        let s = AstralParams::paper_scale().scale();
+        assert_eq!(s.gpus_per_block, 1024);
+        assert_eq!(s.gpus_per_pod, 65_536); // "Pod: ~64K"
+        assert_eq!(s.gpus_total, 524_288); // "Cluster: ~512K"
+        assert_eq!(s.same_rail_gpus_per_pod, 8_192); // "8K GPUs within a single rail"
+        assert_eq!(s.tors_per_block, 16);
+        assert_eq!(s.aggs_per_pod, 1_024);
+        assert_eq!(s.cores_total, 4_096);
+        // 51.2T switching capacity at every tier.
+        assert_eq!(s.tor_capacity_gbps, 51_200.0);
+        assert_eq!(s.agg_capacity_gbps, 51_200.0);
+        assert_eq!(s.core_capacity_gbps, 51_200.0);
+    }
+
+    #[test]
+    fn small_fabric_builds_and_validates() {
+        let p = AstralParams::sim_small();
+        let t = build_astral(&p);
+        assert_eq!(t.gpu_count(), 256);
+        assert_eq!(t.hosts().len(), 64);
+        // tiers: NICs, ToRs, Aggs, Cores all present.
+        assert_eq!(t.tier_count(0), 256);
+        assert_eq!(
+            t.tier_count(1) as u64,
+            p.scale().tors_per_pod * p.pods as u64
+        );
+        assert_eq!(t.tier_count(2) as u64, p.scale().aggs_per_pod * p.pods as u64);
+        assert_eq!(t.tier_count(3) as u64, p.scale().cores_total);
+    }
+
+    #[test]
+    fn identical_bandwidth_across_tiers_p2() {
+        // P2: aggregate NIC→ToR bandwidth == ToR→Agg == Agg→Core per pod
+        // (cores are shared across pods, so compare cluster-wide sums).
+        let t = build_astral(&AstralParams::sim_small());
+        let t01 = t.tier_bandwidth(0, 1);
+        let t12 = t.tier_bandwidth(1, 2);
+        let t23 = t.tier_bandwidth(2, 3);
+        assert!(t01 > 0.0);
+        assert!((t01 - t12).abs() / t01 < 1e-9, "tor {t01} vs agg {t12}");
+        assert!((t12 - t23).abs() / t12 < 1e-9, "agg {t12} vs core {t23}");
+    }
+
+    #[test]
+    fn dual_tor_p3() {
+        // Every NIC has exactly tors_per_rail uplinks, each to a distinct ToR
+        // of its own rail.
+        let p = AstralParams::sim_small();
+        let t = build_astral(&p);
+        for host in t.hosts() {
+            for (rail, &nic) in host.nics.iter().enumerate() {
+                let uplinks = t.out_links(nic);
+                assert_eq!(uplinks.len(), p.tors_per_rail as usize);
+                let mut tors: Vec<NodeId> = uplinks.iter().map(|&l| t.link(l).dst).collect();
+                tors.dedup();
+                assert_eq!(tors.len(), p.tors_per_rail as usize, "ports on same ToR");
+                for tor in tors {
+                    match t.node(tor).kind {
+                        NodeKind::Tor { rail: r, .. } => assert_eq!(r as usize, rail),
+                        k => panic!("NIC uplink to non-ToR {k:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tor_radix_is_balanced() {
+        // ToR downlink capacity equals uplink capacity (identical bandwidth).
+        let p = AstralParams::sim_small();
+        let t = build_astral(&p);
+        for node in t.nodes() {
+            if let NodeKind::Tor { .. } = node.kind {
+                let (mut down, mut up) = (0.0, 0.0);
+                for &l in t.out_links(node.id) {
+                    let link = t.link(l);
+                    match t.node(link.dst).kind.tier() {
+                        0 => down += link.bandwidth_bps,
+                        2 => up += link.bandwidth_bps,
+                        _ => panic!("ToR connected outside tiers 0/2"),
+                    }
+                }
+                assert!((down - up).abs() / down < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn same_rail_tors_use_disjoint_agg_groups() {
+        // P1: the two ToRs of one rail in one block feed different groups.
+        let p = AstralParams::sim_small();
+        let t = build_astral(&p);
+        let tor_groups = |tor: NodeId| -> Vec<u16> {
+            let mut groups: Vec<u16> = t
+                .out_links(tor)
+                .iter()
+                .filter_map(|&l| match t.node(t.link(l).dst).kind {
+                    NodeKind::Agg { group, .. } => Some(group),
+                    _ => None,
+                })
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            groups
+        };
+        let tors: Vec<&crate::graph::Node> = t
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    NodeKind::Tor {
+                        pod: 0,
+                        block: 0,
+                        rail: 0,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(tors.len(), 2);
+        let g0 = tor_groups(tors[0].id);
+        let g1 = tor_groups(tors[1].id);
+        assert_eq!(g0.len(), 1);
+        assert_eq!(g1.len(), 1);
+        assert_ne!(g0, g1);
+    }
+
+    #[test]
+    fn gpu_to_nic_mapping_is_rail_aligned() {
+        let t = build_astral(&AstralParams::sim_small());
+        for g in 0..t.gpu_count() {
+            let gpu = GpuId(g);
+            let nic = t.gpu_nic(gpu);
+            match t.node(nic).kind {
+                NodeKind::Nic { rail, host } => {
+                    assert_eq!(rail, t.gpu_rail(gpu));
+                    assert_eq!(host, t.gpu_host(gpu));
+                }
+                _ => panic!("gpu_nic returned a non-NIC"),
+            }
+        }
+    }
+}

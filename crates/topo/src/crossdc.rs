@@ -1,0 +1,213 @@
+//! Cross-datacenter extension of the Astral fabric (paper Appendix B,
+//! §4.4 Case #1).
+//!
+//! Several Astral datacenters, each a full same-rail fabric, are joined by
+//! long-haul links terminated at per-DC gateway routers. Long-distance fiber
+//! is priced comparably to GPUs (~70 $/km·month in the paper's rental
+//! records), so the cross-DC segment is deliberately *oversubscribed*: the
+//! experiments sweep the intra-DC to cross-DC bandwidth ratio (8:1 is free,
+//! 32:1 costs ~4.6% on PP traffic — Figure 18).
+
+use crate::astral::{build_astral_dc, AstralParams};
+use crate::graph::Topology;
+use crate::ids::{DcId, NodeKind};
+use astral_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in fiber: ~5 µs per km.
+pub const FIBER_US_PER_KM: f64 = 5.0;
+
+/// Parameters of a multi-datacenter deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossDcParams {
+    /// Per-datacenter fabric parameters.
+    pub dc: AstralParams,
+    /// Number of datacenters (≥ 2).
+    pub dcs: u16,
+    /// Intra-DC to cross-DC bandwidth oversubscription ratio (≥ 1).
+    /// The total long-haul capacity between a DC pair is
+    /// `tier-3 bandwidth / oversub / (dcs − 1)`.
+    pub oversub: f64,
+    /// Fiber distance between datacenters in km (the paper quotes deployments
+    /// separated by hundreds of kilometers).
+    pub distance_km: f64,
+    /// Gateway routers per DC.
+    pub gateways_per_dc: u16,
+}
+
+impl CrossDcParams {
+    /// Two small DCs at 300 km with the given oversubscription.
+    pub fn sim_small(oversub: f64) -> Self {
+        CrossDcParams {
+            dc: AstralParams::sim_small(),
+            dcs: 2,
+            oversub,
+            distance_km: 300.0,
+            gateways_per_dc: 1,
+        }
+    }
+
+    /// One-way long-haul latency implied by the distance.
+    pub fn long_haul_latency(&self) -> SimDuration {
+        SimDuration::from_micros((self.distance_km * FIBER_US_PER_KM) as u64)
+    }
+}
+
+/// Build `dcs` Astral datacenters joined by oversubscribed long-haul links.
+pub fn build_cross_dc(p: &CrossDcParams) -> Topology {
+    assert!(p.dcs >= 2, "a cross-DC deployment needs at least two DCs");
+    assert!(p.oversub >= 1.0, "oversubscription ratio must be >= 1");
+    assert!(p.gateways_per_dc >= 1);
+
+    let mut topo = Topology::new("astral-crossdc", p.dc.rails, p.dc.hb);
+    let mut gates_by_dc = Vec::new();
+
+    for d in 0..p.dcs {
+        let dc = DcId(d as u32);
+        let handles = build_astral_dc(&mut topo, dc, &p.dc);
+
+        // Tier-3 one-DC aggregate (one direction): every Agg uplink.
+        let tier3_bw = p.dc.pods as f64
+            * p.dc.agg_groups() as f64
+            * p.dc.aggs_per_group() as f64
+            * p.dc.cores_per_group() as f64
+            * p.dc.fabric_gbps
+            * 1e9;
+
+        // Long-haul budget from this DC toward *each* peer DC.
+        let pair_budget = tier3_bw / p.oversub / (p.dcs as f64 - 1.0);
+
+        let gates: Vec<_> = (0..p.gateways_per_dc)
+            .map(|_| topo.add_node(NodeKind::DcGate { dc }))
+            .collect();
+
+        // Every core attaches to every gateway with enough capacity that the
+        // core→gate segment is not a tighter bottleneck than the long haul.
+        let core_gate_bw =
+            pair_budget * (p.dcs as f64 - 1.0) / handles.cores.len() as f64
+                / p.gateways_per_dc as f64;
+        for &core in &handles.cores {
+            for &gate in &gates {
+                topo.add_duplex(core, gate, core_gate_bw, p.dc.link_latency);
+            }
+        }
+        gates_by_dc.push((gates, pair_budget));
+    }
+
+    // Full mesh of long-haul links between DC pairs, spread over gateways.
+    let lat = p.long_haul_latency();
+    for i in 0..p.dcs as usize {
+        for j in (i + 1)..p.dcs as usize {
+            let (gates_i, budget) = (&gates_by_dc[i].0, gates_by_dc[i].1);
+            let gates_j = &gates_by_dc[j].0;
+            let per_link = budget / (gates_i.len() as f64);
+            for (a, &gi) in gates_i.iter().enumerate() {
+                let gj = gates_j[a % gates_j.len()];
+                topo.add_duplex(gi, gj, per_link, lat);
+            }
+        }
+    }
+
+    topo.validate()
+        .expect("cross-DC builder produced an invalid fabric");
+    topo
+}
+
+/// The effective intra-DC to cross-DC bandwidth ratio of a built fabric —
+/// round-trips the `oversub` parameter for validation and reporting.
+pub fn effective_oversub(topo: &Topology) -> f64 {
+    let tier3: f64 = topo
+        .links()
+        .iter()
+        .filter(|l| {
+            topo.node(l.src).kind.tier() == 2 && topo.node(l.dst).kind.tier() == 3
+        })
+        .map(|l| l.bandwidth_bps)
+        .sum();
+    let long_haul: f64 = topo
+        .links()
+        .iter()
+        .filter(|l| {
+            matches!(topo.node(l.src).kind, NodeKind::DcGate { .. })
+                && matches!(topo.node(l.dst).kind, NodeKind::DcGate { .. })
+        })
+        .map(|l| l.bandwidth_bps)
+        .sum();
+    if long_haul <= 0.0 {
+        return f64::INFINITY;
+    }
+    // tier3 sums over all DCs; long_haul over all pairs (both directions).
+    let dcs = topo
+        .nodes()
+        .iter()
+        .filter_map(|n| n.kind.dc())
+        .max()
+        .map(|d| d.0 + 1)
+        .unwrap_or(1) as f64;
+    (tier3 / dcs) / (long_haul / dcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GpuId;
+    use crate::routing::Router;
+
+    #[test]
+    fn two_dcs_route_through_gateways() {
+        let p = CrossDcParams::sim_small(8.0);
+        let t = build_cross_dc(&p);
+        let r = Router::new();
+        let gpus_per_dc = t.gpu_count() / 2;
+        let (a, b) = (
+            t.gpu_nic(GpuId(0)),
+            t.gpu_nic(GpuId(gpus_per_dc)),
+        );
+        // nic→tor→agg→core→gate→gate→core→agg→tor→nic = 9 hops.
+        assert_eq!(r.distance(&t, a, b), Some(9));
+        let path = r.path_with(&t, a, b, |_, _| 0).unwrap();
+        let gates = path
+            .iter()
+            .filter(|&&l| {
+                matches!(t.node(t.link(l).src).kind, NodeKind::DcGate { .. })
+                    && matches!(t.node(t.link(l).dst).kind, NodeKind::DcGate { .. })
+            })
+            .count();
+        assert_eq!(gates, 1, "exactly one long-haul hop");
+        let long = path
+            .iter()
+            .map(|&l| t.link(l).latency)
+            .max()
+            .unwrap();
+        assert_eq!(long, p.long_haul_latency());
+    }
+
+    #[test]
+    fn intra_dc_traffic_never_crosses() {
+        let t = build_cross_dc(&CrossDcParams::sim_small(8.0));
+        let r = Router::new();
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(1)));
+        // Same as single-DC Astral: 6 hops through a core, no gateway.
+        assert_eq!(r.distance(&t, a, b), Some(6));
+    }
+
+    #[test]
+    fn oversub_parameter_round_trips() {
+        for ratio in [1.0, 8.0, 16.0, 32.0] {
+            let t = build_cross_dc(&CrossDcParams::sim_small(ratio));
+            let eff = effective_oversub(&t);
+            assert!(
+                (eff / ratio - 1.0).abs() < 0.01,
+                "requested {ratio}, got {eff}"
+            );
+        }
+    }
+
+    #[test]
+    fn hosts_carry_their_dc() {
+        let t = build_cross_dc(&CrossDcParams::sim_small(4.0));
+        let per_dc = t.hosts().len() / 2;
+        assert!(t.hosts()[..per_dc].iter().all(|h| h.dc == DcId(0)));
+        assert!(t.hosts()[per_dc..].iter().all(|h| h.dc == DcId(1)));
+    }
+}

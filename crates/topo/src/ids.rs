@@ -1,0 +1,191 @@
+//! Identifier newtypes for topology entities.
+//!
+//! Indices are dense `u32`s: the simulator allocates nodes/links/hosts in
+//! contiguous vectors and these IDs are the offsets. Newtypes keep GPU, host,
+//! node, and link spaces from being confused at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node in the network graph: a NIC endpoint or a switch.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A directed link between two nodes.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// A GPU server (8 GPUs, 8 dual-port NICs in the paper's deployment).
+    HostId,
+    "host"
+);
+id_type!(
+    /// A single GPU, numbered globally across the cluster.
+    GpuId,
+    "gpu"
+);
+id_type!(
+    /// A datacenter in a cross-DC deployment.
+    DcId,
+    "dc"
+);
+
+/// The role a network node plays, with its structural coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A NIC endpoint on a host. One NIC serves one GPU (one *rail*).
+    Nic {
+        /// Owning host.
+        host: HostId,
+        /// Rail index (== local GPU index it serves), 0-based.
+        rail: u8,
+    },
+    /// Tier-1 top-of-rack switch.
+    Tor {
+        /// Datacenter.
+        dc: DcId,
+        /// Pod within the datacenter.
+        pod: u16,
+        /// Block within the pod.
+        block: u16,
+        /// Rail this ToR serves (same-rail design) or 0xFF for rail-agnostic
+        /// baseline fabrics.
+        rail: u8,
+        /// Which of the dual ToRs (0 or 1) for a rail; 0 when single-ToR.
+        side: u8,
+    },
+    /// Tier-2 aggregation switch.
+    Agg {
+        /// Datacenter.
+        dc: DcId,
+        /// Pod within the datacenter.
+        pod: u16,
+        /// Aggregation group. In Astral a group is bound to one (rail, side);
+        /// in baseline fabrics groups are structural only.
+        group: u16,
+        /// Rank within the group.
+        rank: u16,
+    },
+    /// Tier-3 core switch.
+    Core {
+        /// Datacenter.
+        dc: DcId,
+        /// Core group (Astral wires Agg rank *k* to core group *k*).
+        group: u16,
+        /// Rank within the group.
+        rank: u16,
+    },
+    /// Cross-datacenter gateway router terminating long-haul links.
+    DcGate {
+        /// Datacenter this gateway belongs to.
+        dc: DcId,
+    },
+}
+
+impl NodeKind {
+    /// Network tier: NIC = 0, ToR = 1, Agg = 2, Core = 3, gateway = 4.
+    pub fn tier(&self) -> u8 {
+        match self {
+            NodeKind::Nic { .. } => 0,
+            NodeKind::Tor { .. } => 1,
+            NodeKind::Agg { .. } => 2,
+            NodeKind::Core { .. } => 3,
+            NodeKind::DcGate { .. } => 4,
+        }
+    }
+
+    /// True for switch/router nodes (anything that forwards traffic).
+    pub fn is_switch(&self) -> bool {
+        !matches!(self, NodeKind::Nic { .. })
+    }
+
+    /// Datacenter the node lives in, if it is a fabric node.
+    pub fn dc(&self) -> Option<DcId> {
+        match *self {
+            NodeKind::Nic { .. } => None,
+            NodeKind::Tor { dc, .. }
+            | NodeKind::Agg { dc, .. }
+            | NodeKind::Core { dc, .. }
+            | NodeKind::DcGate { dc } => Some(dc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(4).to_string(), "l4");
+        assert_eq!(HostId(5).to_string(), "host5");
+        assert_eq!(GpuId(6).to_string(), "gpu6");
+        assert_eq!(DcId(0).to_string(), "dc0");
+    }
+
+    #[test]
+    fn tiers_are_ordered_bottom_up() {
+        let nic = NodeKind::Nic {
+            host: HostId(0),
+            rail: 0,
+        };
+        let tor = NodeKind::Tor {
+            dc: DcId(0),
+            pod: 0,
+            block: 0,
+            rail: 0,
+            side: 0,
+        };
+        let agg = NodeKind::Agg {
+            dc: DcId(0),
+            pod: 0,
+            group: 0,
+            rank: 0,
+        };
+        let core = NodeKind::Core {
+            dc: DcId(0),
+            group: 0,
+            rank: 0,
+        };
+        assert!(nic.tier() < tor.tier());
+        assert!(tor.tier() < agg.tier());
+        assert!(agg.tier() < core.tier());
+        assert!(!nic.is_switch());
+        assert!(tor.is_switch() && agg.is_switch() && core.is_switch());
+        assert_eq!(nic.dc(), None);
+        assert_eq!(core.dc(), Some(DcId(0)));
+    }
+}

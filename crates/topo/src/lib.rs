@@ -1,0 +1,45 @@
+//! # astral-topo — datacenter fabrics for LLM training
+//!
+//! Port-level topology graphs for the Astral reproduction:
+//!
+//! * [`build_astral`] — the paper's same-rail architecture (§2.1, Figure 3):
+//!   dual-ToR tier 1, same-rail aggregation groups at tier 2, identical
+//!   aggregated bandwidth across all three tiers.
+//! * [`build_clos`] / [`build_rail_optimized`] / [`build_rail_only`] — the
+//!   production baselines the paper compares against.
+//! * [`build_cross_dc`] — multiple Astral DCs joined by oversubscribed
+//!   long-haul links (Appendix B).
+//! * [`Router`] — valley-free ECMP routing with per-destination distance
+//!   fields; candidate sets are exactly the equal-cost sets a switch hashes
+//!   over.
+//! * [`CablePlan`] / [`verify_wiring`] — the offline wiring-verification
+//!   tool from §5.
+//!
+//! ```
+//! use astral_topo::{build_astral, AstralParams, Router};
+//! use astral_topo::GpuId;
+//!
+//! let topo = build_astral(&AstralParams::sim_small());
+//! let router = Router::new();
+//! let (a, b) = (topo.gpu_nic(GpuId(0)), topo.gpu_nic(GpuId(12)));
+//! // Same-rail GPUs in the same block are two hops apart.
+//! assert_eq!(router.distance(&topo, a, b), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+
+mod astral;
+mod baselines;
+mod crossdc;
+mod graph;
+mod ids;
+mod routing;
+mod wiring;
+
+pub use astral::{build_astral, build_astral_dc, AstralDcHandles, AstralParams, AstralScale};
+pub use baselines::{build_clos, build_rail_only, build_rail_optimized, BaselineParams};
+pub use crossdc::{build_cross_dc, effective_oversub, CrossDcParams, FIBER_US_PER_KM};
+pub use graph::{HbDomainSpec, Host, Link, Node, Topology, GBPS};
+pub use ids::{DcId, GpuId, HostId, LinkId, NodeId, NodeKind};
+pub use routing::{DistField, Hop, Phase, Router};
+pub use wiring::{mac_of, verify_wiring, Cable, CablePlan, WiringMistake};

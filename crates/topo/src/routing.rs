@@ -1,0 +1,485 @@
+//! Valley-free ECMP routing over a fabric.
+//!
+//! Datacenter Clos fabrics route *up–down*: a packet climbs from its source
+//! NIC toward the spine only as far as necessary, then descends to the
+//! destination, never climbing again after its first downhill hop. The
+//! [`Router`] computes, per destination NIC, the distance fields that make
+//! hop-by-hop ECMP next-hop selection O(degree):
+//!
+//! * `dist_down(x)` — shortest *strictly downhill* distance from `x` to the
+//!   destination (∞ if the destination is not below `x`).
+//! * `dist_up(x)` — shortest valley-free distance from `x` (still free to
+//!   climb) to the destination.
+//!
+//! Next-hop candidates at every switch are *all* links consistent with the
+//! shortest valley-free distance — exactly the equal-cost set a production
+//! switch hashes over. Path *selection* among candidates is the caller's
+//! (the `astral-net` flow simulator applies the five-tuple hash there, which
+//! is where hash polarization emerges).
+//!
+//! Cross-datacenter gateway peering links (tier 4 ↔ tier 4) are treated as
+//! "up" moves so a path may traverse the long-haul segment while still in
+//! its climbing phase, then descend inside the remote DC.
+
+use crate::graph::Topology;
+use crate::ids::{LinkId, NodeId, NodeKind};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const INF: u16 = u16::MAX;
+/// Hard bound on path length; anything longer indicates a routing bug.
+const MAX_HOPS: usize = 64;
+
+/// Which phase of a valley-free walk we are in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Still allowed to climb (or move laterally across DC gateways).
+    Up,
+    /// Committed to descending.
+    Down,
+}
+
+/// Distance fields toward one destination NIC.
+#[derive(Debug)]
+pub struct DistField {
+    /// `dist_down[node]`: downhill-only distance to the destination.
+    down: Vec<u16>,
+    /// `dist_up[node]`: valley-free distance to the destination.
+    up: Vec<u16>,
+}
+
+impl DistField {
+    /// Downhill-only distance from `node` to the destination.
+    pub fn down(&self, node: NodeId) -> Option<u16> {
+        let d = self.down[node.index()];
+        (d != INF).then_some(d)
+    }
+
+    /// Valley-free distance from `node` to the destination.
+    pub fn up(&self, node: NodeId) -> Option<u16> {
+        let d = self.up[node.index()];
+        (d != INF).then_some(d)
+    }
+}
+
+/// A next-hop candidate: the link to take and the phase after taking it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Link to traverse.
+    pub link: LinkId,
+    /// Phase after the hop.
+    pub phase: Phase,
+}
+
+/// ECMP router with a per-destination distance-field cache.
+#[derive(Debug, Default)]
+pub struct Router {
+    cache: RwLock<HashMap<NodeId, Arc<DistField>>>,
+}
+
+/// True if traversing `src → dst` counts as an "up" move.
+fn is_up_move(topo: &Topology, src: NodeId, dst: NodeId) -> bool {
+    let (ts, td) = (topo.node(src).kind.tier(), topo.node(dst).kind.tier());
+    td > ts
+        || (matches!(topo.node(src).kind, NodeKind::DcGate { .. })
+            && matches!(topo.node(dst).kind, NodeKind::DcGate { .. }))
+}
+
+/// True if traversing `src → dst` counts as a "down" move.
+fn is_down_move(topo: &Topology, src: NodeId, dst: NodeId) -> bool {
+    topo.node(dst).kind.tier() < topo.node(src).kind.tier()
+}
+
+impl Router {
+    /// A router with an empty cache.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Drop all cached distance fields (call after mutating the topology).
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Distance fields toward `dst` (computed on first use, then cached).
+    pub fn dist_field(&self, topo: &Topology, dst: NodeId) -> Arc<DistField> {
+        if let Some(f) = self.cache.read().get(&dst) {
+            return Arc::clone(f);
+        }
+        let field = Arc::new(compute_field(topo, dst));
+        self.cache.write().insert(dst, Arc::clone(&field));
+        field
+    }
+
+    /// Equal-cost next hops from `cur` (in `phase`) toward `dst`, in
+    /// deterministic (link-id) order. Empty when `cur == dst` or no route
+    /// exists.
+    pub fn next_hops(
+        &self,
+        topo: &Topology,
+        cur: NodeId,
+        phase: Phase,
+        dst: NodeId,
+    ) -> Vec<Hop> {
+        let field = self.dist_field(topo, dst);
+        next_hops_in(topo, &field, cur, phase, dst)
+    }
+
+    /// Walk a complete path from `src_nic` to `dst_nic`, using `choose` to
+    /// pick among equal-cost candidates at each hop. `choose` receives the
+    /// node we are at and the candidate hops (sorted by link id) and returns
+    /// an index into them.
+    ///
+    /// Returns `None` when no valley-free route exists (e.g. cross-rail in a
+    /// rail-only fabric).
+    pub fn path_with<F>(
+        &self,
+        topo: &Topology,
+        src_nic: NodeId,
+        dst_nic: NodeId,
+        mut choose: F,
+    ) -> Option<Vec<LinkId>>
+    where
+        F: FnMut(NodeId, &[Hop]) -> usize,
+    {
+        if src_nic == dst_nic {
+            return Some(Vec::new());
+        }
+        let field = self.dist_field(topo, dst_nic);
+        let mut cur = src_nic;
+        let mut phase = Phase::Up;
+        let mut path = Vec::new();
+        while cur != dst_nic {
+            let hops = next_hops_in(topo, &field, cur, phase, dst_nic);
+            if hops.is_empty() {
+                return None;
+            }
+            let idx = choose(cur, &hops);
+            debug_assert!(idx < hops.len(), "chooser returned out-of-range index");
+            let hop = hops[idx.min(hops.len() - 1)];
+            path.push(hop.link);
+            cur = topo.link(hop.link).dst;
+            phase = hop.phase;
+            assert!(path.len() <= MAX_HOPS, "routing loop: path exceeded {MAX_HOPS} hops");
+        }
+        Some(path)
+    }
+
+    /// Shortest valley-free hop count from `src_nic` to `dst_nic`.
+    pub fn distance(&self, topo: &Topology, src_nic: NodeId, dst_nic: NodeId) -> Option<u16> {
+        if src_nic == dst_nic {
+            return Some(0);
+        }
+        self.dist_field(topo, dst_nic).up(src_nic)
+    }
+
+    /// Number of distinct equal-cost shortest valley-free paths.
+    pub fn path_count(&self, topo: &Topology, src_nic: NodeId, dst_nic: NodeId) -> u64 {
+        if src_nic == dst_nic {
+            return 1;
+        }
+        let field = self.dist_field(topo, dst_nic);
+        let mut memo: HashMap<(NodeId, Phase), u64> = HashMap::new();
+        count_paths(topo, &field, src_nic, Phase::Up, dst_nic, &mut memo)
+    }
+}
+
+fn count_paths(
+    topo: &Topology,
+    field: &DistField,
+    cur: NodeId,
+    phase: Phase,
+    dst: NodeId,
+    memo: &mut HashMap<(NodeId, Phase), u64>,
+) -> u64 {
+    if cur == dst {
+        return 1;
+    }
+    if let Some(&c) = memo.get(&(cur, phase)) {
+        return c;
+    }
+    let total = next_hops_in(topo, field, cur, phase, dst)
+        .into_iter()
+        .map(|hop| {
+            count_paths(
+                topo,
+                field,
+                topo.link(hop.link).dst,
+                hop.phase,
+                dst,
+                memo,
+            )
+        })
+        .sum();
+    memo.insert((cur, phase), total);
+    total
+}
+
+fn next_hops_in(
+    topo: &Topology,
+    field: &DistField,
+    cur: NodeId,
+    phase: Phase,
+    dst: NodeId,
+) -> Vec<Hop> {
+    if cur == dst {
+        return Vec::new();
+    }
+    let mut hops = Vec::new();
+    match phase {
+        Phase::Down => {
+            let Some(cur_d) = field.down(cur) else {
+                return Vec::new();
+            };
+            for &l in topo.out_links(cur) {
+                let next = topo.link(l).dst;
+                if is_down_move(topo, cur, next)
+                    && field.down(next).map_or(false, |d| d + 1 == cur_d)
+                {
+                    hops.push(Hop {
+                        link: l,
+                        phase: Phase::Down,
+                    });
+                }
+            }
+        }
+        Phase::Up => {
+            let Some(cur_u) = field.up(cur) else {
+                return Vec::new();
+            };
+            for &l in topo.out_links(cur) {
+                let next = topo.link(l).dst;
+                if is_down_move(topo, cur, next) {
+                    if field.down(next).map_or(false, |d| d + 1 == cur_u) {
+                        hops.push(Hop {
+                            link: l,
+                            phase: Phase::Down,
+                        });
+                    }
+                } else if is_up_move(topo, cur, next)
+                    && field.up(next).map_or(false, |d| d + 1 == cur_u)
+                {
+                    hops.push(Hop {
+                        link: l,
+                        phase: Phase::Up,
+                    });
+                }
+            }
+        }
+    }
+    hops.sort_by_key(|h| h.link);
+    hops
+}
+
+/// Compute distance fields toward `dst` with two passes:
+/// a downhill BFS, then a Dijkstra over "up" moves seeded with the downhill
+/// distances.
+fn compute_field(topo: &Topology, dst: NodeId) -> DistField {
+    let n = topo.nodes().len();
+    let mut down = vec![INF; n];
+    let mut up = vec![INF; n];
+    down[dst.index()] = 0;
+
+    // Downhill distances: BFS from dst, relaxing over *reverse* down moves.
+    // A reverse down move from v is any link (u -> v) where u is above v,
+    // i.e. we walk dst's uphill links forward.
+    let mut frontier = vec![dst];
+    let mut depth: u16 = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next_frontier = Vec::new();
+        for &v in &frontier {
+            for &l in topo.out_links(v) {
+                // (v -> u) with u above v means the reverse (u -> v) is a
+                // down move; duplex wiring guarantees the reverse exists.
+                let u = topo.link(l).dst;
+                if is_up_move(topo, v, u)
+                    && !matches!(topo.node(v).kind, NodeKind::DcGate { .. })
+                    && down[u.index()] == INF
+                    && topo.link_between(u, v).is_some()
+                {
+                    // Exclude gate-lateral from "down" reachability: a
+                    // gate-gate hop is lateral, not downhill.
+                    if topo.node(u).kind.tier() > topo.node(v).kind.tier() {
+                        down[u.index()] = depth;
+                        next_frontier.push(u);
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    // Valley-free distances: dist_up(x) = min(dist_down(x),
+    //   1 + dist_up(y)) over up moves (x -> y). Seed with dist_down and run
+    // Dijkstra over reverse-up edges.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u16, u32)>> = BinaryHeap::new();
+    for (i, &d) in down.iter().enumerate() {
+        up[i] = d;
+        if d != INF {
+            heap.push(Reverse((d, i as u32)));
+        }
+    }
+    while let Some(Reverse((d, yi))) = heap.pop() {
+        if d > up[yi as usize] {
+            continue;
+        }
+        let y = NodeId(yi);
+        // Relax every x with an up move (x -> y): reverse edge y -> x.
+        for &l in topo.out_links(y) {
+            let x = topo.link(l).dst;
+            if topo.link_between(x, y).is_some() && is_up_move(topo, x, y) {
+                let nd = d.saturating_add(1);
+                if nd < up[x.index()] {
+                    up[x.index()] = nd;
+                    heap.push(Reverse((nd, x.0)));
+                }
+            }
+        }
+    }
+
+    DistField { down, up }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astral::{build_astral, AstralParams};
+    use crate::ids::GpuId;
+
+    fn fixture() -> (Topology, Router) {
+        (build_astral(&AstralParams::sim_small()), Router::new())
+    }
+
+    /// GPUs on the same rail, same block: NIC→ToR→NIC = 2 hops.
+    #[test]
+    fn same_block_same_rail_is_two_hops() {
+        let (t, r) = fixture();
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(4)));
+        assert_eq!(r.distance(&t, a, b), Some(2));
+    }
+
+    /// Same rail, different block, same pod: NIC→ToR→Agg→ToR→NIC = 4 hops.
+    #[test]
+    fn cross_block_same_rail_is_four_hops() {
+        let (t, r) = fixture();
+        let p = AstralParams::sim_small();
+        let gpus_per_block = p.hosts_per_block as u32 * p.rails as u32;
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(gpus_per_block)));
+        assert_eq!(r.distance(&t, a, b), Some(4));
+    }
+
+    /// Cross-rail (same host even): must climb to a Core = 6 hops.
+    #[test]
+    fn cross_rail_goes_through_core() {
+        let (t, r) = fixture();
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(1)));
+        assert_eq!(r.distance(&t, a, b), Some(6));
+        // The path's apex must be a Core switch.
+        let path = r.path_with(&t, a, b, |_, _| 0).unwrap();
+        let apex = path
+            .iter()
+            .map(|&l| t.node(t.link(l).dst).kind.tier())
+            .max()
+            .unwrap();
+        assert_eq!(apex, 3);
+    }
+
+    /// Cross-pod same-rail also goes through Core (pods share cores).
+    #[test]
+    fn cross_pod_goes_through_core() {
+        let (t, r) = fixture();
+        let p = AstralParams::sim_small();
+        let gpus_per_pod =
+            p.hosts_per_block as u32 * p.rails as u32 * p.blocks_per_pod as u32;
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(gpus_per_pod)));
+        assert_eq!(r.distance(&t, a, b), Some(6));
+    }
+
+    /// Every hop of a generated path must be a real link and the walk must
+    /// land on the destination, valley-free.
+    #[test]
+    fn paths_are_wellformed_and_valley_free() {
+        let (t, r) = fixture();
+        let pairs = [(0u32, 9), (0, 37), (5, 250), (128, 3), (17, 17 + 32)];
+        for (ga, gb) in pairs {
+            let (a, b) = (t.gpu_nic(GpuId(ga)), t.gpu_nic(GpuId(gb)));
+            let path = r.path_with(&t, a, b, |_, _| 0).unwrap();
+            let mut cur = a;
+            let mut seen_down = false;
+            for &l in &path {
+                let link = t.link(l);
+                assert_eq!(link.src, cur, "discontinuous path");
+                let up = is_up_move(&t, link.src, link.dst);
+                if up {
+                    assert!(!seen_down, "valley: up move after down move");
+                } else {
+                    seen_down = true;
+                }
+                cur = link.dst;
+            }
+            assert_eq!(cur, b);
+            assert_eq!(path.len() as u16, r.distance(&t, a, b).unwrap());
+        }
+    }
+
+    /// Different chooser decisions give different equal-length paths,
+    /// and the candidate sets are deterministic.
+    #[test]
+    fn ecmp_offers_multiple_paths() {
+        let (t, r) = fixture();
+        let p = AstralParams::sim_small();
+        let gpb = p.hosts_per_block as u32 * p.rails as u32;
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(gpb)));
+        let p0 = r.path_with(&t, a, b, |_, _| 0).unwrap();
+        let p1 = r.path_with(&t, a, b, |_, hops| hops.len() - 1).unwrap();
+        assert_eq!(p0.len(), p1.len());
+        assert_ne!(p0, p1);
+        // Same-rail cross-block: dual ToR sides × aggs_per_group paths.
+        let count = r.path_count(&t, a, b);
+        assert_eq!(
+            count,
+            (p.tors_per_rail as u64) * (p.aggs_per_group() as u64)
+        );
+    }
+
+    /// path_count for cross-rail traffic: side × agg × core fan-out up,
+    /// then the downhill side is determined by group wiring.
+    #[test]
+    fn cross_rail_path_count_matches_structure() {
+        let (t, r) = fixture();
+        let p = AstralParams::sim_small();
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(1)));
+        // Up: 2 ToR sides × aggs_per_group aggs × cores_per_group cores.
+        // Down from the core: exactly one agg per (group, rank) leads to the
+        // dst rail's group per side → 2 down options at the core (dst sides).
+        let expected = p.tors_per_rail as u64
+            * p.aggs_per_group() as u64
+            * p.cores_per_group() as u64
+            * p.tors_per_rail as u64;
+        assert_eq!(r.path_count(&t, a, b), expected);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let (t, r) = fixture();
+        let a = t.gpu_nic(GpuId(0));
+        assert_eq!(r.distance(&t, a, a), Some(0));
+        assert_eq!(r.path_with(&t, a, a, |_, _| 0), Some(vec![]));
+    }
+
+    #[test]
+    fn cache_is_reused_and_clearable() {
+        let (t, r) = fixture();
+        let b = t.gpu_nic(GpuId(9));
+        let f1 = r.dist_field(&t, b);
+        let f2 = r.dist_field(&t, b);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        r.clear();
+        let f3 = r.dist_field(&t, b);
+        assert!(!Arc::ptr_eq(&f1, &f3));
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline wiring verification (paper §5, "Wiring and configuration
+//! consistency check").
+//!
+//! Astral's scale (64K GPUs per Pod) made hand-wiring error-prone; the paper
+//! describes a tool that collects `(slot ID, MAC, IP)` via `dmidecode`/ARP,
+//! reconstructs the switch-port ↔ host-slot relation, and diffs it against
+//! the topology rules. This module reproduces that flow: a [`CablePlan`] is
+//! the ground-truth relation derived from a built [`Topology`]; an observed
+//! plan (possibly with swapped cables, as happens on site) is verified
+//! against it, and every mismatch is reported with enough context for a
+//! technician to fix the exact pair of ports.
+
+use crate::graph::Topology;
+use crate::ids::{HostId, NodeId, NodeKind};
+use astral_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One cable: a host NIC port patched into a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cable {
+    /// The ToR switch terminating the cable.
+    pub switch: NodeId,
+    /// Port index on that switch (dense downlink numbering).
+    pub switch_port: u16,
+    /// The host the cable should come from.
+    pub host: HostId,
+    /// NIC (rail) index on the host.
+    pub rail: u8,
+    /// Port index on the NIC (0 or 1 for dual-ToR).
+    pub port: u8,
+    /// MAC address observed on the port (synthesized deterministically).
+    pub mac: u64,
+}
+
+/// Deterministic MAC for a host NIC port, mirroring how the real tool keys
+/// its ARP observations.
+pub fn mac_of(host: HostId, rail: u8, port: u8) -> u64 {
+    (0x02u64 << 48) | ((host.0 as u64) << 16) | ((rail as u64) << 8) | port as u64
+}
+
+/// The full expected cabling of a fabric's host↔ToR tier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CablePlan {
+    /// All cables, ordered by (switch, switch_port).
+    pub cables: Vec<Cable>,
+}
+
+impl CablePlan {
+    /// Derive the ground-truth plan from a built topology.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut cables = Vec::new();
+        for node in topo.nodes() {
+            if !matches!(node.kind, NodeKind::Tor { .. }) {
+                continue;
+            }
+            let mut port = 0u16;
+            for &l in topo.out_links(node.id) {
+                let link = topo.link(l);
+                if let NodeKind::Nic { host, rail } = topo.node(link.dst).kind {
+                    // NIC port number = which of the host's uplinks this is.
+                    let nic_port = topo
+                        .out_links(link.dst)
+                        .iter()
+                        .position(|&ul| topo.link(ul).dst == node.id)
+                        .expect("duplex pairing guarantees the reverse link")
+                        as u8;
+                    cables.push(Cable {
+                        switch: node.id,
+                        switch_port: port,
+                        host,
+                        rail,
+                        port: nic_port,
+                        mac: mac_of(host, rail, nic_port),
+                    });
+                    port += 1;
+                }
+            }
+        }
+        CablePlan { cables }
+    }
+
+    /// Simulate on-site wiring with `n_swaps` accidental cable swaps:
+    /// pairs of cables plugged into each other's switch ports.
+    pub fn with_swaps(&self, n_swaps: usize, rng: &mut SimRng) -> CablePlan {
+        let mut observed = self.clone();
+        let len = observed.cables.len();
+        assert!(len >= 2 || n_swaps == 0);
+        for _ in 0..n_swaps {
+            let i = rng.below(len as u64) as usize;
+            let mut j = rng.below(len as u64) as usize;
+            while j == i {
+                j = rng.below(len as u64) as usize;
+            }
+            // The *cables* (host ends) swap; switch ports stay where they are.
+            let (hi, ri, pi, mi) = {
+                let c = &observed.cables[i];
+                (c.host, c.rail, c.port, c.mac)
+            };
+            let cj = observed.cables[j];
+            observed.cables[i].host = cj.host;
+            observed.cables[i].rail = cj.rail;
+            observed.cables[i].port = cj.port;
+            observed.cables[i].mac = cj.mac;
+            observed.cables[j].host = hi;
+            observed.cables[j].rail = ri;
+            observed.cables[j].port = pi;
+            observed.cables[j].mac = mi;
+        }
+        observed
+    }
+}
+
+/// A detected wiring mistake on one switch port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WiringMistake {
+    /// Switch and port where the wrong cable landed.
+    pub switch: NodeId,
+    /// Port index on the switch.
+    pub switch_port: u16,
+    /// What the plan expects on this port.
+    pub expected: (HostId, u8, u8),
+    /// What was actually observed (from the MAC).
+    pub observed: (HostId, u8, u8),
+}
+
+/// Diff an observed cabling against the expected plan.
+///
+/// Returns one [`WiringMistake`] per mis-cabled switch port (a single swap
+/// therefore produces two mistakes — both ends of the swap).
+pub fn verify_wiring(expected: &CablePlan, observed: &CablePlan) -> Vec<WiringMistake> {
+    assert_eq!(
+        expected.cables.len(),
+        observed.cables.len(),
+        "plans must cover the same ports"
+    );
+    expected
+        .cables
+        .iter()
+        .zip(&observed.cables)
+        .filter(|(e, o)| (e.host, e.rail, e.port) != (o.host, o.rail, o.port))
+        .map(|(e, o)| WiringMistake {
+            switch: e.switch,
+            switch_port: e.switch_port,
+            expected: (e.host, e.rail, e.port),
+            observed: (o.host, o.rail, o.port),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astral::{build_astral, AstralParams};
+
+    #[test]
+    fn plan_covers_every_nic_port() {
+        let p = AstralParams::sim_small();
+        let t = build_astral(&p);
+        let plan = CablePlan::from_topology(&t);
+        // hosts × rails × ports cables.
+        let expected =
+            t.hosts().len() * p.rails as usize * p.tors_per_rail as usize;
+        assert_eq!(plan.cables.len(), expected);
+        // Every cable's rail matches its ToR's rail (same-rail wiring).
+        for c in &plan.cables {
+            match t.node(c.switch).kind {
+                NodeKind::Tor { rail, .. } => assert_eq!(rail, c.rail),
+                _ => panic!("cable terminates on a non-ToR"),
+            }
+        }
+    }
+
+    #[test]
+    fn correct_wiring_verifies_clean() {
+        let t = build_astral(&AstralParams::sim_small());
+        let plan = CablePlan::from_topology(&t);
+        assert!(verify_wiring(&plan, &plan).is_empty());
+    }
+
+    #[test]
+    fn swaps_are_detected_exactly() {
+        let t = build_astral(&AstralParams::sim_small());
+        let plan = CablePlan::from_topology(&t);
+        let mut rng = SimRng::new(7);
+        let observed = plan.with_swaps(5, &mut rng);
+        let mistakes = verify_wiring(&plan, &observed);
+        // Each swap flips two ports; swaps can collide/undo, so the count is
+        // even and at most 2 × n_swaps.
+        assert!(!mistakes.is_empty());
+        assert!(mistakes.len() % 2 == 0);
+        assert!(mistakes.len() <= 10);
+        // Every reported mistake is a real difference.
+        for m in &mistakes {
+            assert_ne!(m.expected, m.observed);
+        }
+    }
+
+    #[test]
+    fn mac_encodes_identity() {
+        let mac = mac_of(HostId(0x1234), 7, 1);
+        assert_eq!(mac & 0xFF, 1);
+        assert_eq!((mac >> 8) & 0xFF, 7);
+        assert_eq!((mac >> 16) & 0xFFFF_FFFF, 0x1234);
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: deploy an Astral fabric, check its Figure-3 arithmetic,
+//! run a collective on the flow-level simulator, and forecast a training
+//! iteration with Seer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use astral::collectives::{CollectiveRunner, RunnerConfig};
+use astral::core::AstralInfrastructure;
+use astral::model::{ModelConfig, ParallelismConfig};
+use astral::topo::{AstralParams, GpuId};
+
+fn main() {
+    // 1. The paper-scale arithmetic (Figure 3) — checked without building
+    //    half a million simulated NICs.
+    let paper = AstralParams::paper_scale().scale();
+    println!("Astral at paper scale:");
+    println!("  GPUs per block : {:>8}", paper.gpus_per_block);
+    println!("  GPUs per Pod   : {:>8}", paper.gpus_per_pod);
+    println!("  GPUs total     : {:>8}", paper.gpus_total);
+    println!("  same-rail GPUs : {:>8} per Pod", paper.same_rail_gpus_per_pod);
+    println!("  ToR/Agg/Core capacity: {:.1}T each (identical tiers)\n",
+        paper.tor_capacity_gbps / 1000.0);
+
+    // 2. Deploy a simulation-scale instance.
+    let infra = AstralInfrastructure::deploy(AstralParams::sim_medium());
+    println!(
+        "deployed {} GPUs across {} pods; facility PUE = {:.3}\n",
+        infra.scale().gpus_total,
+        infra.params().pods,
+        infra.pue()
+    );
+
+    // 3. Run a 256 MiB AllReduce over 16 same-rail GPUs on the flow-level
+    //    network simulator.
+    let mut runner = CollectiveRunner::new(infra.topology(), RunnerConfig::default());
+    let group: Vec<GpuId> = (0..16)
+        .map(|h| GpuId(h * infra.topology().rails() as u32))
+        .collect();
+    let bytes = 256u64 << 20;
+    let result = runner.all_reduce(&group, bytes);
+    println!(
+        "AllReduce 256 MiB over {} GPUs: {:.3} ms (algbw {:.1} Gbit/s, {} network bytes)",
+        group.len(),
+        result.duration.as_secs_f64() * 1e3,
+        result.algbw_bps(bytes) / 1e9,
+        result.network_bytes
+    );
+
+    // 4. Calibrate Seer against this fabric and forecast a training
+    //    iteration.
+    let mut model = ModelConfig::llama3_8b();
+    model.layers = 16;
+    let mut par = ParallelismConfig::new(8, 2, 8);
+    par.microbatches = 4;
+    let seer = infra.calibrated_seer(&par, 42);
+    let f = seer.forecast_training(&model, &par);
+    println!(
+        "\nSeer forecast for {} on {} GPUs: iteration {:.3} s, {:.0} tokens/s, MFU {:.1}%",
+        model.name,
+        par.world(),
+        f.iteration_s,
+        f.tokens_per_s,
+        f.mfu * 100.0
+    );
+    println!(
+        "exposed communication: {:.1}% of the iteration",
+        f.timeline.exposed_comm_fraction() * 100.0
+    );
+}
