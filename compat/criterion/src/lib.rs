@@ -1,0 +1,148 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the criterion API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`finish`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple best-of-samples wall-clock
+//! measurement printed to stdout — no statistics, plots, or baselines.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from eliding a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration measurement driver passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the best per-iteration estimate across batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then timed batches.
+        black_box(f());
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() * 1e9 / self.iters as f64;
+            if per_iter < self.best_ns {
+                self.best_ns = per_iter;
+            }
+        }
+    }
+}
+
+fn run_one(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples.max(1),
+        best_ns: f64::INFINITY,
+    };
+    f(&mut b);
+    if b.best_ns.is_finite() {
+        println!("{name:<48} {:>14.1} ns/iter", b.best_ns);
+    } else {
+        println!("{name:<48} (no measurement)");
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration batch size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.prefix, name),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("noop2", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,479 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! The build environment has no network access, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes cover everything this workspace derives:
+//! non-generic named-field structs, tuple structs, and enums with unit,
+//! tuple, and struct variants. The only recognized field attribute is
+//! `#[serde(skip)]` (omit on serialize, `Default::default()` on
+//! deserialize), matching the one use in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume one `#[...]` attribute (the leading `#` was peeked by the
+/// caller); returns true when it is `#[serde(skip)]`-like.
+fn eat_attr(iter: &mut Iter) -> bool {
+    iter.next(); // '#'
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            let mut is_serde = false;
+            let mut skip = false;
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(id)) = inner.next() {
+                is_serde = id.to_string() == "serde";
+            }
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    for tt in args.stream() {
+                        if let TokenTree::Ident(id) = tt {
+                            let s = id.to_string();
+                            if s == "skip" || s == "skip_serializing" || s == "skip_deserializing" {
+                                skip = true;
+                            }
+                        }
+                    }
+                }
+            }
+            iter.next(); // the [...] group
+            return skip;
+        }
+    }
+    false
+}
+
+/// Consume leading attributes, returning whether any was a skip marker.
+fn eat_attrs(iter: &mut Iter) -> bool {
+    let mut skip = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        skip |= eat_attr(iter);
+    }
+    skip
+}
+
+/// Consume an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(iter: &mut Iter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Skip a type (or any expression) up to a top-level `,`, tracking `<...>`
+/// nesting depth; consumes the comma if present.
+fn skip_to_comma(iter: &mut Iter) {
+    let mut angle = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+/// Parse `name: Type, ...` named fields from a brace group's stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut iter);
+        eat_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        // ':'
+        iter.next();
+        skip_to_comma(&mut iter);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count `Type, ...` tuple fields in a paren group's stream.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut n = 0;
+    while iter.peek().is_some() {
+        eat_attrs(&mut iter);
+        eat_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_to_comma(&mut iter);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = g.stream();
+                iter.next();
+                VariantShape::Tuple(count_tuple_fields(s))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = g.stream();
+                iter.next();
+                VariantShape::Struct(parse_named_fields(s))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        skip_to_comma(&mut iter);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    eat_attrs(&mut iter);
+    eat_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type {name} is not supported by the vendored serde derive"
+        ));
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            })
+        }
+        (k, body) => Err(format!("unsupported item shape: {k} {name} {body:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out += &format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ \
+                 let mut __fields: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); "
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                out += &format!(
+                    "__fields.push((::serde::Value::Str(::std::string::String::from(\"{fname}\")), \
+                     ::serde::Serialize::to_value(&self.{fname}))); "
+                );
+            }
+            out += "::serde::Value::Map(__fields) } }";
+        }
+        Item::TupleStruct { name, arity } => {
+            out += &format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ "
+            );
+            if *arity == 1 {
+                out += "::serde::Serialize::to_value(&self.0)";
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                out += &format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "));
+            }
+            out += " } }";
+        }
+        Item::Enum { name, variants } => {
+            out += &format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ "
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        out += &format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")), "
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        out += &format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vname}\")), \
+                             {inner})]), ",
+                            binds.join(", ")
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut body = String::from(
+                            "{ let mut __m: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                             ::std::vec::Vec::new(); ",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            body += &format!(
+                                "__m.push((::serde::Value::Str(\
+                                 ::std::string::String::from(\"{fname}\")), \
+                                 ::serde::Serialize::to_value({fname}))); "
+                            );
+                        }
+                        body += &format!(
+                            "::serde::Value::Map(::std::vec![(::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")), \
+                             ::serde::Value::Map(__m))]) }}"
+                        );
+                        out += &format!("{name}::{vname} {{ {} }} => {body}, ", binds.join(", "));
+                    }
+                }
+            }
+            out += "} } }";
+        }
+    }
+    out
+}
+
+fn gen_named_field_inits(container: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            out += &format!("{fname}: ::std::default::Default::default(), ");
+        } else {
+            out += &format!(
+                "{fname}: match ::serde::find_field({map_expr}, \"{fname}\") {{ \
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"missing field `{fname}` in {container}\")) }}, "
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out += &format!(
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 let __m = match __v {{ ::serde::Value::Map(__m) => __m, \
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected map for {name}\")) }}; \
+                 ::std::result::Result::Ok({name} {{ "
+            );
+            out += &gen_named_field_inits(name, fields, "__m");
+            out += "}) } }";
+        }
+        Item::TupleStruct { name, arity } => {
+            out += &format!(
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ "
+            );
+            if *arity == 1 {
+                out += &format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                );
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                out += &format!(
+                    "match __v {{ ::serde::Value::Seq(__s) if __s.len() == {arity} => \
+                     ::std::result::Result::Ok({name}({})), \
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected {arity}-element sequence for {name}\")) }}",
+                    elems.join(", ")
+                );
+            }
+            out += " } }";
+        }
+        Item::Enum { name, variants } => {
+            out += &format!(
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 match __v {{ "
+            );
+            // Unit variants arrive as bare strings.
+            out += "::serde::Value::Str(__s) => match __s.as_str() { ";
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    let vname = &v.name;
+                    out += &format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}), ");
+                }
+            }
+            out += &format!(
+                "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown unit variant for {name}\")) }}, "
+            );
+            // Data variants arrive as single-entry maps.
+            out += "::serde::Value::Map(__pairs) if __pairs.len() == 1 => { \
+                    let (__k, __val) = &__pairs[0]; \
+                    let __k = match __k { ::serde::Value::Str(__s) => __s.as_str(), \
+                    _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                    \"expected string variant key\")) }; match __k { ";
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(n) => {
+                        if *n == 1 {
+                            out += &format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__val)?)), "
+                            );
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            out += &format!(
+                                "\"{vname}\" => match __val {{ \
+                                 ::serde::Value::Seq(__s) if __s.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({})), \
+                                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected {n}-element sequence for variant {vname}\")) }}, ",
+                                elems.join(", ")
+                            );
+                        }
+                    }
+                    VariantShape::Struct(fields) => {
+                        out += &format!(
+                            "\"{vname}\" => {{ let __vm = match __val {{ \
+                             ::serde::Value::Map(__m) => __m, \
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"expected map for variant {vname}\")) }}; \
+                             ::std::result::Result::Ok({name}::{vname} {{ "
+                        );
+                        out += &gen_named_field_inits(vname, fields, "__vm");
+                        out += "}) }, ";
+                    }
+                }
+            }
+            out += &format!(
+                "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")) }} }}, "
+            );
+            out += &format!(
+                "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or map for {name}\")) }} }} }}"
+            );
+        }
+    }
+    out
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| panic!("vendored serde derive produced invalid code: {e}")),
+        Err(msg) => format!("::std::compile_error!(\"{msg}\");")
+            .parse()
+            .unwrap(),
+    }
+}
+
+/// Derive `serde::Serialize` (vendored stub data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (vendored stub data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

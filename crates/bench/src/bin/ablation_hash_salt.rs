@@ -4,8 +4,7 @@
 
 use astral_bench::{banner, footer};
 use astral_net::{
-    EcmpController, EcmpHasher, FlowSpec, NetConfig, NetworkSim, PlannedFlow, QpContext,
-    SaltMode,
+    EcmpController, EcmpHasher, FlowSpec, NetConfig, NetworkSim, PlannedFlow, QpContext, SaltMode,
 };
 use astral_topo::{build_astral, AstralParams, GpuId};
 
@@ -14,8 +13,10 @@ fn run_round(
     hasher: EcmpHasher,
     flows: &[PlannedFlow],
 ) -> (u64, f64) {
-    let mut cfg = NetConfig::default();
-    cfg.hasher = hasher;
+    let cfg = NetConfig {
+        hasher,
+        ..NetConfig::default()
+    };
     let mut sim = NetworkSim::new(topo, cfg);
     let mut ids = Vec::new();
     for f in flows {
@@ -65,7 +66,10 @@ fn main() {
     );
     let ctl = EcmpController::default();
     let mut results = Vec::new();
-    for (label, salt) in [("uniform fleet", SaltMode::Uniform), ("per-switch salt", SaltMode::PerSwitch)] {
+    for (label, salt) in [
+        ("uniform fleet", SaltMode::Uniform),
+        ("per-switch salt", SaltMode::PerSwitch),
+    ] {
         let hasher = EcmpHasher {
             salt,
             ..EcmpHasher::default()
@@ -75,8 +79,10 @@ fn main() {
         println!("{:<26}{:>14}{:>16.3}", label, ecn0, fct0 * 1e3);
 
         // One controller round on top.
-        let mut cfg = NetConfig::default();
-        cfg.hasher = hasher;
+        let cfg = NetConfig {
+            hasher,
+            ..NetConfig::default()
+        };
         let sim = NetworkSim::new(&topo, cfg);
         let hot: Vec<_> = {
             // Re-derive hot links from a projection (deterministic).
@@ -91,7 +97,9 @@ fn main() {
         let (ecn1, fct1) = run_round(&topo, hasher, &flows);
         println!(
             "{:<26}{:>14}{:>16.3}   (after 1 controller round, {moved} moved)",
-            "", ecn1, fct1 * 1e3
+            "",
+            ecn1,
+            fct1 * 1e3
         );
         results.push((label, ecn0, ecn1));
     }

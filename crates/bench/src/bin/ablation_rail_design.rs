@@ -4,9 +4,7 @@
 //! paper argues about: same-rail collectives and MoE-style all-to-all.
 
 use astral_bench::{banner, footer};
-use astral_collectives::{
-    merge_parallel, ring_all_reduce, CollectiveRunner, RunnerConfig,
-};
+use astral_collectives::{merge_parallel, ring_all_reduce, CollectiveRunner, RunnerConfig};
 use astral_topo::{
     build_astral, build_rail_only, build_rail_optimized, AstralParams, BaselineParams, GpuId,
     Topology,
@@ -21,9 +19,7 @@ fn same_rail_allreduce_ms(topo: &Topology, hosts: u32, bytes: u64) -> f64 {
     let merged = merge_parallel(
         (0..rails)
             .map(|r| {
-                let map: Vec<usize> = (0..hosts)
-                    .map(|h| (h * rails + r) as usize)
-                    .collect();
+                let map: Vec<usize> = (0..hosts).map(|h| (h * rails + r) as usize).collect();
                 (ring_all_reduce(hosts as usize, bytes), map)
             })
             .collect(),
@@ -64,8 +60,11 @@ fn main() {
         "fabric", "same-rail AR (ms)", "a2a 64 (ms)", "a2a NVLink bytes"
     );
     let mut rows = Vec::new();
-    for (name, topo) in [("astral", &astral), ("rail-optimized", &ropt), ("rail-only", &ronly)]
-    {
+    for (name, topo) in [
+        ("astral", &astral),
+        ("rail-optimized", &ropt),
+        ("rail-only", &ronly),
+    ] {
         let ar = same_rail_allreduce_ms(topo, 16, ar_bytes);
         let (a2a, nv) = mixed_alltoall_ms(topo, 64, a2a_bytes);
         println!("{:<16}{:>22.3}{:>18.3}{:>18}", name, ar, a2a, nv);

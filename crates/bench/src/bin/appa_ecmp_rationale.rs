@@ -27,7 +27,10 @@ fn main() {
     let spray_ways = 8u16;
 
     let mut results = Vec::new();
-    for (label, subflows) in [("per-flow ECMP", 1u16), ("per-packet (sprayed)", spray_ways)] {
+    for (label, subflows) in [
+        ("per-flow ECMP", 1u16),
+        ("per-packet (sprayed)", spray_ways),
+    ] {
         let mut sim = NetworkSim::new(&topo, NetConfig::default());
         // transfers × subflows; transfer i is damaged if ANY subflow fails.
         let mut groups: Vec<Vec<astral_net::FlowId>> = Vec::new();
@@ -83,5 +86,8 @@ fn main() {
                 .to_string(),
         ),
     ]);
-    assert!(results[1].1 > results[0].1, "spraying must widen the radius");
+    assert!(
+        results[1].1 > results[0].1,
+        "spraying must widen the radius"
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     );
 
     let m = OverheadModel::default();
-    println!("per-node mirroring      : {:.3} Mbit/s", m.mirror_bps_per_node() / 1e6);
+    println!(
+        "per-node mirroring      : {:.3} Mbit/s",
+        m.mirror_bps_per_node() / 1e6
+    );
     println!(
         "{:<14}{:>18}{:>22}{:>20}",
         "cluster", "mirror traffic", "fraction of link bw", "INT storage/day"
@@ -38,7 +41,10 @@ fn main() {
     footer(&[
         (
             "per-node mirroring",
-            format!("paper ~0.8 Mbps | modeled {:.2} Mbps", m.mirror_bps_per_node() / 1e6),
+            format!(
+                "paper ~0.8 Mbps | modeled {:.2} Mbps",
+                m.mirror_bps_per_node() / 1e6
+            ),
         ),
         (
             "100K-GPU total",

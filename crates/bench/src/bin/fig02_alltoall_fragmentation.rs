@@ -12,9 +12,7 @@
 use astral_bench::{banner, footer};
 use astral_collectives::{CollectiveRunner, RunnerConfig};
 use astral_core::{place_job, PlacementPolicy};
-use astral_topo::{
-    build_astral, build_clos, AstralParams, BaselineParams, GpuId, Topology,
-};
+use astral_topo::{build_astral, build_clos, AstralParams, BaselineParams, GpuId, Topology};
 
 fn a2a_gbps(topo: &Topology, placement: &[GpuId], bytes: u64) -> f64 {
     let mut runner = CollectiveRunner::new(topo, RunnerConfig::default());
@@ -36,7 +34,11 @@ fn main() {
 
     // --- Fragmentation axis (on Astral) ---
     let dense = place_job(&astral, gpus, PlacementPolicy::BlockLocal);
-    let frag = place_job(&astral, gpus, PlacementPolicy::FragmentedAcrossPods { pods: 2 });
+    let frag = place_job(
+        &astral,
+        gpus,
+        PlacementPolicy::FragmentedAcrossPods { pods: 2 },
+    );
     let t_dense = a2a_gbps(&astral, &dense, bytes);
     let t_frag = a2a_gbps(&astral, &frag, bytes);
     let frag_loss = (1.0 - t_frag / t_dense) * 100.0;
@@ -64,7 +66,11 @@ fn main() {
             tier3_oversub: ratio,
         };
         let clos = build_clos(&bp);
-        let all = place_job(&clos, full_gpus, PlacementPolicy::FragmentedAcrossPods { pods: 2 });
+        let all = place_job(
+            &clos,
+            full_gpus,
+            PlacementPolicy::FragmentedAcrossPods { pods: 2 },
+        );
         let t = a2a_gbps(&clos, &all, full_bytes);
         oversub_rows.push((ratio, t));
     }

@@ -20,15 +20,34 @@ fn main() {
     println!("  GPUs per block              {:>10}", s.gpus_per_block);
     println!("  GPUs per Pod                {:>10}", s.gpus_per_pod);
     println!("  GPUs per cluster            {:>10}", s.gpus_total);
-    println!("  same-rail GPUs per Pod      {:>10}", s.same_rail_gpus_per_pod);
+    println!(
+        "  same-rail GPUs per Pod      {:>10}",
+        s.same_rail_gpus_per_pod
+    );
     println!("  ToR switches per block      {:>10}", s.tors_per_block);
     println!("  Agg switches per Pod        {:>10}", s.aggs_per_pod);
     println!("  Core switches total         {:>10}", s.cores_total);
-    println!("  ToR capacity                {:>8.1} T", s.tor_capacity_gbps / 1000.0);
-    println!("  Agg capacity                {:>8.1} T", s.agg_capacity_gbps / 1000.0);
-    println!("  Core capacity               {:>8.1} T", s.core_capacity_gbps / 1000.0);
-    println!("  Agg group size              {:>10}", paper.aggs_per_group());
-    println!("  Core groups × cores/group   {:>7} × {}", paper.core_groups(), paper.cores_per_group());
+    println!(
+        "  ToR capacity                {:>8.1} T",
+        s.tor_capacity_gbps / 1000.0
+    );
+    println!(
+        "  Agg capacity                {:>8.1} T",
+        s.agg_capacity_gbps / 1000.0
+    );
+    println!(
+        "  Core capacity               {:>8.1} T",
+        s.core_capacity_gbps / 1000.0
+    );
+    println!(
+        "  Agg group size              {:>10}",
+        paper.aggs_per_group()
+    );
+    println!(
+        "  Core groups × cores/group   {:>7} × {}",
+        paper.core_groups(),
+        paper.cores_per_group()
+    );
 
     // Structural validation on a buildable instance: the same wiring rules
     // at simulation scale, with P2 checked over the actual link inventory.
@@ -37,7 +56,10 @@ fn main() {
     let t01 = topo.tier_bandwidth(0, 1);
     let t12 = topo.tier_bandwidth(1, 2);
     let t23 = topo.tier_bandwidth(2, 3);
-    println!("\nbuilt instance ({} GPUs): tier bandwidths", topo.gpu_count());
+    println!(
+        "\nbuilt instance ({} GPUs): tier bandwidths",
+        topo.gpu_count()
+    );
     println!("  NIC→ToR {:>8.1} T", t01 / 1e12);
     println!("  ToR→Agg {:>8.1} T", t12 / 1e12);
     println!("  Agg→Core{:>8.1} T", t23 / 1e12);
@@ -45,9 +67,18 @@ fn main() {
     topo.validate().expect("built fabric is structurally valid");
 
     footer(&[
-        ("block size", format!("paper 1024 | derived {}", s.gpus_per_block)),
-        ("pod size", format!("paper ~64K | derived {}", s.gpus_per_pod)),
-        ("cluster size", format!("paper ~512K | derived {}", s.gpus_total)),
+        (
+            "block size",
+            format!("paper 1024 | derived {}", s.gpus_per_block),
+        ),
+        (
+            "pod size",
+            format!("paper ~64K | derived {}", s.gpus_per_pod),
+        ),
+        (
+            "cluster size",
+            format!("paper ~512K | derived {}", s.gpus_total),
+        ),
         (
             "same-rail scale",
             format!("paper 8K per rail | derived {}", s.same_rail_gpus_per_pod),

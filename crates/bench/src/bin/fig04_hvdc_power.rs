@@ -48,13 +48,23 @@ fn main() {
             "  rack {i}: demand {:>6.1} kW → allocated {:>6.1} kW{}",
             d / 1e3,
             a / 1e3,
-            if a > 40_000.0 { "  (elastic, above TDP)" } else { "" }
+            if a > 40_000.0 {
+                "  (elastic, above TDP)"
+            } else {
+                ""
+            }
         );
     }
 
     // Battery compensation of iteration-scale swings.
     let demand: Vec<f64> = (0..240)
-        .map(|i| if (i / 3) % 2 == 0 { 300_000.0 } else { 215_000.0 })
+        .map(|i| {
+            if (i / 3) % 2 == 0 {
+                300_000.0
+            } else {
+                215_000.0
+            }
+        })
         .collect();
     let (_, before, after) = unit.smooth(&demand, 1.0);
     println!(
@@ -75,7 +85,10 @@ fn main() {
         ),
         (
             "elastic rack budget",
-            format!("paper +30% | rack 2 drew {:.1} kW of 40 kW TDP", alloc[2] / 1e3),
+            format!(
+                "paper +30% | rack 2 drew {:.1} kW of 40 kW TDP",
+                alloc[2] / 1e3
+            ),
         ),
         (
             "battery compensation",

@@ -25,9 +25,7 @@ fn main() {
 
     let spread_side = row.temperature_spread(Airflow::SideIntake);
     let spread_bottom = row.temperature_spread(Airflow::BottomUp);
-    println!(
-        "\nspread: side {spread_side:.2} °C | bottom-up {spread_bottom:.2} °C"
-    );
+    println!("\nspread: side {spread_side:.2} °C | bottom-up {spread_bottom:.2} °C");
     println!(
         "mean:   side {:.2} °C | bottom-up {:.2} °C",
         row.mean_temperature(Airflow::SideIntake),

@@ -13,7 +13,10 @@ fn main() {
     );
 
     let evo = pue_evolution(18);
-    println!("{:<8}{:>14}{:>16}{:>14}", "month", "astral PUE", "traditional", "improvement");
+    println!(
+        "{:<8}{:>14}{:>16}{:>14}",
+        "month", "astral PUE", "traditional", "improvement"
+    );
     for &(m, astral, trad) in &evo {
         println!(
             "{:<8}{:>14.3}{:>16.3}{:>13.1}%",
@@ -25,10 +28,9 @@ fn main() {
     }
 
     let mean = mean_pue_improvement(&evo) * 100.0;
-    let steady =
-        (FacilityConfig::traditional().pue() - FacilityConfig::astral().pue())
-            / FacilityConfig::traditional().pue()
-            * 100.0;
+    let steady = (FacilityConfig::traditional().pue() - FacilityConfig::astral().pue())
+        / FacilityConfig::traditional().pue()
+        * 100.0;
 
     footer(&[
         (

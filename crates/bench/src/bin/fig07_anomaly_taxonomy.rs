@@ -7,8 +7,8 @@
 
 use astral_bench::{banner, footer};
 use astral_monitor::{
-    manifestation_distribution, root_cause_distribution, run_fault_scenario, Analyzer,
-    CauseClass, Culprit, Fault, RootCause, ScenarioConfig, TruthCulprit,
+    manifestation_distribution, root_cause_distribution, run_fault_scenario, Analyzer, CauseClass,
+    Culprit, Fault, RootCause, ScenarioConfig, TruthCulprit,
 };
 use astral_sim::SimRng;
 use astral_topo::{build_astral, AstralParams, HostId};

@@ -34,8 +34,10 @@ fn main() {
     let snap = &outcome.snapshot;
 
     // (a) NCCL timeline.
-    println!("(a) NCCL timeline (per-rank comm time, Seer expectation {:.3}s):",
-        snap.job.as_ref().unwrap().expected_iter_s - 0.5);
+    println!(
+        "(a) NCCL timeline (per-rank comm time, Seer expectation {:.3}s):",
+        snap.job.as_ref().unwrap().expected_iter_s - 0.5
+    );
     for r in snap.ranks.iter().take(8) {
         println!("    {}: comm {:.3} s", r.host, r.comm_time_s);
     }
@@ -56,7 +58,7 @@ fn main() {
     let (slow_qp, _) = rates
         .iter()
         .find(|(qp, _)| {
-            snap.qp(**qp).map_or(false, |r| {
+            snap.qp(**qp).is_some_and(|r| {
                 outcome
                     .prober
                     .probe(r.src_nic, r.dst_nic, r.tuple.src_port)
@@ -90,7 +92,10 @@ fn main() {
 
     // The verdict.
     let d = Analyzer::new().diagnose(snap, &outcome.prober);
-    println!("\nanalyzer verdict: {} / {} / {:?}", d.manifestation, d.cause, d.culprit);
+    println!(
+        "\nanalyzer verdict: {} / {} / {:?}",
+        d.manifestation, d.cause, d.culprit
+    );
     for (i, e) in d.evidence.iter().enumerate() {
         println!("  {}. {e}", i + 1);
     }

@@ -7,7 +7,7 @@
 
 use astral_bench::{banner, footer};
 use astral_model::{DpSync, GroupKind, ModelConfig, ParallelismConfig};
-use astral_seer::{Calibration, GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
+use astral_seer::{GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
@@ -29,7 +29,11 @@ fn main() {
     model.layers = 64;
     let mut par = ParallelismConfig::new(8, 8, 16);
     par.microbatches = 16;
-    println!("job: {} on {} GPUs (tp8 × pp8 × dp16), 300 km between DCs\n", model.name, par.world());
+    println!(
+        "job: {} on {} GPUs (tp8 × pp8 × dp16), 300 km between DCs\n",
+        model.name,
+        par.world()
+    );
 
     let forecast = |net: NetworkSpec, par: &ParallelismConfig| -> f64 {
         Seer::new(SeerConfig {

@@ -7,7 +7,7 @@
 
 use astral_bench::{banner, footer};
 use astral_model::{InferencePhase, ModelConfig, ParallelismConfig};
-use astral_seer::{Calibration, GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
+use astral_seer::{GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
@@ -50,8 +50,10 @@ fn main() {
     println!("normalized training throughput (HB domain = 8 → 1.00):");
     println!("{:<24}{:>8}{:>8}{:>8}{:>8}", "model", "8", "16", "32", "64");
     let mut gains = Vec::new();
-    for (label, m, p) in [("GPT-3-175B", &gpt3, &gpt_par), ("MoE (Hunyuan-like)", &moe, &moe_par)]
-    {
+    for (label, m, p) in [
+        ("GPT-3-175B", &gpt3, &gpt_par),
+        ("MoE (Hunyuan-like)", &moe, &moe_par),
+    ] {
         let base = seer_for(8).forecast_training(m, p).iteration_s;
         let mut row = Vec::new();
         for &hb in &domains {

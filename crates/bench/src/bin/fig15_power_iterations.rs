@@ -45,7 +45,12 @@ fn main() {
             .map(|(_, w)| w)
             .unwrap_or(gpu.idle_w);
         let bars = ((w / gpu.tdp_w) * 40.0) as usize;
-        println!("  t={:>7.1}ms {:>6.0} W |{}", t.as_secs_f64() * 1e3, w, "#".repeat(bars));
+        println!(
+            "  t={:>7.1}ms {:>6.0} W |{}",
+            t.as_secs_f64() * 1e3,
+            w,
+            "#".repeat(bars)
+        );
     }
     println!(
         "  peak {:.0} W ({:.2}×TDP), min {:.0} W ({:.2}×TDP)",
@@ -58,10 +63,20 @@ fn main() {
     // (b) Inference: prefill vs decode power.
     let inf_par = ParallelismConfig::new(4, 1, 1);
     let prefill = seer
-        .forecast_inference(&model, &inf_par, 8, InferencePhase::Prefill { prompt_len: 2048 })
+        .forecast_inference(
+            &model,
+            &inf_par,
+            8,
+            InferencePhase::Prefill { prompt_len: 2048 },
+        )
         .timeline;
     let decode = seer
-        .forecast_inference(&model, &inf_par, 8, InferencePhase::Decode { context_len: 2048 })
+        .forecast_inference(
+            &model,
+            &inf_par,
+            8,
+            InferencePhase::Decode { context_len: 2048 },
+        )
         .timeline;
     let p_trace = power_trace(&prefill, 0, &gpu, &PowerIntensity::default(), 5e-5);
     let d_trace = power_trace(&decode, 0, &gpu, &PowerIntensity::default(), 5e-5);

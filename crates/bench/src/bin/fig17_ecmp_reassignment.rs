@@ -6,9 +6,7 @@
 //! congested flows' source ports; counters drop and stabilize.
 
 use astral_bench::{banner, footer};
-use astral_net::{
-    EcmpController, FlowSpec, NetConfig, NetworkSim, PlannedFlow, QpContext,
-};
+use astral_net::{EcmpController, FlowSpec, NetConfig, NetworkSim, PlannedFlow, QpContext};
 use astral_topo::{build_astral, AstralParams, GpuId, LinkId};
 
 fn main() {

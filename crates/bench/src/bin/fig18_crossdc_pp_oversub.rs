@@ -39,7 +39,10 @@ fn main() {
 
     let base = forecast(NetworkSpec::astral());
     println!("single-DC iteration: {base:.3} s (PP stage boundary crosses 300 km)\n");
-    println!("{:<10}{:>14}{:>14}", "ratio", "iteration (s)", "degradation");
+    println!(
+        "{:<10}{:>14}{:>14}",
+        "ratio", "iteration (s)", "degradation"
+    );
     let mut degr_at = std::collections::HashMap::new();
     for ratio in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let net = NetworkSpec::astral().with_crossdc(GroupKind::Pp, ratio, 300.0);

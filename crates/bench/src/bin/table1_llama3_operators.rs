@@ -21,7 +21,10 @@ fn main() {
 
     // Forward-pass inventory, grouped as the paper's table groups it.
     let forward_ops = [
-        ("Input Embedding", vec!["LoadWeight", "EmbeddingComputation"]),
+        (
+            "Input Embedding",
+            vec!["LoadWeight", "EmbeddingComputation"],
+        ),
         (
             "Transformer Layer",
             vec![

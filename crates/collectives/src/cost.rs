@@ -69,7 +69,7 @@ pub fn hierarchical_all_reduce(
     nvlink_bw: f64,
     alpha: f64,
 ) -> f64 {
-    assert!(local >= 1 && n % local.max(1) == 0);
+    assert!(local >= 1 && n.is_multiple_of(local.max(1)));
     if n <= 1 {
         return 0.0;
     }
@@ -94,9 +94,7 @@ mod tests {
     #[test]
     fn allreduce_is_twice_reduce_scatter() {
         let (n, b, bw, a) = (8, 1 << 30, 400.0 * GBPS, 5e-6);
-        assert!(
-            (all_reduce(n, b, bw, a) - 2.0 * reduce_scatter(n, b, bw, a)).abs() < 1e-12
-        );
+        assert!((all_reduce(n, b, bw, a) - 2.0 * reduce_scatter(n, b, bw, a)).abs() < 1e-12);
     }
 
     #[test]

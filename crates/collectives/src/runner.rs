@@ -15,8 +15,8 @@
 //!   NVLink, per-rail inter-host AllReduce, local AllGather.
 
 use crate::plan::{
-    pairwise_all_to_all, ring_all_gather, ring_all_reduce, ring_broadcast,
-    ring_reduce_scatter, send_recv, Schedule, Transfer,
+    pairwise_all_to_all, ring_all_gather, ring_all_reduce, ring_broadcast, ring_reduce_scatter,
+    send_recv, Schedule, Transfer,
 };
 use astral_net::{FlowSpec, FlowState, NetConfig, NetworkSim, QpContext, QpId};
 use astral_sim::SimDuration;
@@ -160,7 +160,7 @@ impl<'a> CollectiveRunner<'a> {
         local: usize,
     ) -> CollectiveResult {
         let n = group.len();
-        assert!(n % local == 0 && local > 1);
+        assert!(n.is_multiple_of(local) && local > 1);
         let domains = n / local;
 
         // Phase 1: ReduceScatter inside each HB domain, all domains at once.
@@ -281,8 +281,7 @@ impl<'a> CollectiveRunner<'a> {
                 .max()
                 .unwrap_or(0);
             let nv_time = if nv_worst > 0 {
-                SimDuration::from_secs_f64(nv_worst as f64 * 8.0 / hb.bandwidth_bps)
-                    + hb.latency
+                SimDuration::from_secs_f64(nv_worst as f64 * 8.0 / hb.bandwidth_bps) + hb.latency
             } else {
                 SimDuration::ZERO
             };
@@ -418,10 +417,13 @@ mod tests {
     #[test]
     fn allreduce_time_tracks_alpha_beta_model() {
         let t = topo();
-        let mut r = CollectiveRunner::new(&t, RunnerConfig {
-            step_overhead: SimDuration::ZERO,
-            ..RunnerConfig::default()
-        });
+        let mut r = CollectiveRunner::new(
+            &t,
+            RunnerConfig {
+                step_overhead: SimDuration::ZERO,
+                ..RunnerConfig::default()
+            },
+        );
         let group = rail0_group(&t, 8);
         let bytes = 512u64 << 20;
         let res = r.all_reduce_flat(&group, bytes);

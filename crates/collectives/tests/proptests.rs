@@ -1,8 +1,8 @@
 //! Property-based tests for collective schedules and cost models.
 
 use astral_collectives::{
-    cost, halving_doubling_all_reduce, pairwise_all_to_all, ring_all_gather,
-    ring_all_reduce, ring_broadcast, ring_reduce_scatter,
+    cost, halving_doubling_all_reduce, pairwise_all_to_all, ring_all_gather, ring_all_reduce,
+    ring_broadcast, ring_reduce_scatter,
 };
 use proptest::prelude::*;
 

@@ -126,10 +126,7 @@ mod tests {
     fn bottom_up_spread_matches_figure_5b() {
         let row = paper_row();
         let spread = row.temperature_spread(Airflow::BottomUp);
-        assert!(
-            spread < 0.15,
-            "bottom-up spread ≈0.11 °C, got {spread:.3}"
-        );
+        assert!(spread < 0.15, "bottom-up spread ≈0.11 °C, got {spread:.3}");
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn traditional_pue_is_realistic() {
         let pue = FacilityConfig::traditional().pue();
-        assert!((1.40..1.60).contains(&pue), "traditional PUE ≈ 1.5: {pue:.3}");
+        assert!(
+            (1.40..1.60).contains(&pue),
+            "traditional PUE ≈ 1.5: {pue:.3}"
+        );
     }
 
     #[test]

@@ -15,6 +15,4 @@ mod airflow;
 mod integrated;
 
 pub use airflow::{paper_row, Airflow, RackRow};
-pub use integrated::{
-    mean_pue_improvement, pue_evolution, CoolingPlant, FacilityConfig,
-};
+pub use integrated::{mean_pue_improvement, pue_evolution, CoolingPlant, FacilityConfig};

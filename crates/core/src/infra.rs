@@ -4,9 +4,7 @@
 use crate::placement::{place_job, PlacementPolicy};
 use astral_cooling::FacilityConfig;
 use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
-use astral_monitor::{
-    run_fault_scenario, Analyzer, Diagnosis, Fault, ScenarioConfig,
-};
+use astral_monitor::{run_fault_scenario, Analyzer, Diagnosis, Fault, ScenarioConfig};
 use astral_seer::{Calibration, GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams, AstralScale, GpuId, Topology};
 
@@ -98,8 +96,7 @@ impl AstralInfrastructure {
     ) -> JobEvaluation {
         assert_eq!(placement.len() as u32, par.world());
         let pods = crate::placement::pods_touched(&self.topo, &placement);
-        let testbed =
-            Testbed::new(&self.topo, self.gpu.clone()).with_placement(placement);
+        let testbed = Testbed::new(&self.topo, self.gpu.clone()).with_placement(placement);
         let graph = build_training_iteration(model, par);
         let timeline = testbed.execute(&graph, par);
         let iteration_s = timeline.total.as_secs_f64();
@@ -158,7 +155,10 @@ mod tests {
         let frag = infra.evaluate_training(
             &m,
             &par,
-            infra.place(par.world(), PlacementPolicy::FragmentedAcrossPods { pods: 2 }),
+            infra.place(
+                par.world(),
+                PlacementPolicy::FragmentedAcrossPods { pods: 2 },
+            ),
         );
         assert_eq!(dense.pods_touched, 1);
         assert_eq!(frag.pods_touched, 2);

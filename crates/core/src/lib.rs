@@ -9,6 +9,9 @@
 //!   testbed, calibrate a Seer against it, and run fault-diagnosis
 //!   pipelines.
 //! * [`PlacementPolicy`] / [`place_job`] — the flexibility axis of §2.
+//! * [`run_training`] / [`RecoveryPolicy`] — the closed-loop failure
+//!   lifecycle engine (detect → localize → mitigate → resume) with
+//!   goodput/MTTR accounting (§5, Figure 10).
 //!
 //! ```
 //! use astral_core::{AstralInfrastructure, PlacementPolicy};
@@ -24,6 +27,11 @@
 
 mod infra;
 mod placement;
+pub mod recovery;
 
 pub use infra::{AstralInfrastructure, JobEvaluation};
 pub use placement::{place_job, pods_touched, PlacementPolicy};
+pub use recovery::{
+    run_training, FaultClass, FaultScript, Incident, InjectedFault, InjectionRecord,
+    MitigationAction, RecoveryPolicy, RecoveryReport, TrainingJobSpec,
+};

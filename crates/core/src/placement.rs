@@ -30,7 +30,7 @@ pub enum PlacementPolicy {
 pub fn place_job(topo: &Topology, gpus: u32, policy: PlacementPolicy) -> Vec<GpuId> {
     let rails = topo.rails() as u32;
     assert!(
-        gpus % rails == 0,
+        gpus.is_multiple_of(rails),
         "jobs allocate whole hosts: {gpus} GPUs not divisible by {rails} rails"
     );
     let hosts_needed = (gpus / rails) as usize;

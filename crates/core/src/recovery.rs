@@ -1,0 +1,1089 @@
+//! Closed-loop failure lifecycle engine: detect → localize → mitigate →
+//! resume (paper §3, §5; Figure 7 fault classes, Figure 10 goodput).
+//!
+//! [`run_training`] drives a training job iteration by iteration on the
+//! flow-level network simulator, with faults injected mid-run from a
+//! [`FaultScript`]. Detection is *online* — the monitor's
+//! [`OnlineDetector`] sees only per-iteration observables (duration, flow
+//! aborts) — and localization is *observational*: the engine walks INT
+//! probes hop by hop to find the dead link, exactly as the analyzer's
+//! drill-down would, never peeking at the injected ground truth.
+//!
+//! Mitigation follows the paper's playbook per fault class:
+//!
+//! * **transient NIC/link faults** — ECMP source-port reassignment steers
+//!   the victim QPs off the flaky path (the §2.1 managed-ECMP controller
+//!   knob), and the iteration is retried under exponential backoff with a
+//!   bounded retry budget;
+//! * **optical faults on dual-ToR hosts** — traffic fails over to the
+//!   surviving ToR port at degraded bandwidth (property P3), unless the
+//!   surviving fraction is below the policy's floor, in which case the
+//!   host is drained and replaced;
+//! * **hard host faults** — the host is cordoned, a spare takes its
+//!   place, and the job restarts from the last checkpoint.
+//!
+//! The engine accounts goodput the way Figure 10 does: wall-clock is
+//! partitioned into useful training, work lost to rollback, checkpoint
+//! overhead, and downtime (detection, backoff, restart), yielding an
+//! effective-training-time ratio plus MTTR/MTTLF per incident.
+
+use astral_collectives::{CollectiveRunner, RunnerConfig};
+use astral_monitor::{OnlineAlarm, OnlineDetector, OnlineDetectorConfig, RootCause};
+use astral_net::{FlowEvent, QpId, QpRecord, EPHEMERAL_BASE};
+use astral_sim::{SimDuration, SimRng};
+use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Topology};
+use std::collections::BTreeSet;
+
+/// Tunable recovery behaviour — the policy axis the Figure-10 goodput
+/// sweep explores.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Master switch: disabled means the first alarm aborts the job.
+    pub enabled: bool,
+    /// Iterations between checkpoints.
+    pub checkpoint_interval: u32,
+    /// Wall-clock cost of writing one checkpoint.
+    pub checkpoint_cost_s: f64,
+    /// Mitigate-and-retry attempts per iteration before escalating to a
+    /// checkpoint restart.
+    pub retry_budget: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// Time the monitor needs to raise and localize an alarm.
+    pub detection_overhead_s: f64,
+    /// Re-placement + checkpoint-restore cost for a restart.
+    pub restart_overhead_s: f64,
+    /// Minimum surviving-uplink fraction for a dual-ToR failover; hosts
+    /// degraded below this are drained and replaced instead.
+    pub degraded_bw_floor: f64,
+    /// Checkpoint restarts allowed before the job is declared lost.
+    pub max_restarts: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            checkpoint_interval: 5,
+            checkpoint_cost_s: 0.05,
+            retry_budget: 3,
+            backoff_base: SimDuration::from_millis(50),
+            detection_overhead_s: 0.2,
+            restart_overhead_s: 0.5,
+            degraded_bw_floor: 0.4,
+            max_restarts: 3,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The ablation baseline: no recovery, first fault kills the job.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            ..RecoveryPolicy::default()
+        }
+    }
+}
+
+/// Shape of the simulated training job.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingJobSpec {
+    /// Hosts in the job (one rank on rail 0 of each).
+    pub hosts: usize,
+    /// Healthy spare hosts kept warm for re-placement.
+    pub spares: usize,
+    /// Iterations to complete.
+    pub iters: u32,
+    /// AllReduce payload per iteration.
+    pub bytes: u64,
+    /// Per-iteration computation time.
+    pub comp_s: f64,
+    /// RNG seed (victim-link choice, steering candidates).
+    pub seed: u64,
+}
+
+impl Default for TrainingJobSpec {
+    fn default() -> Self {
+        TrainingJobSpec {
+            hosts: 16,
+            spares: 2,
+            iters: 20,
+            bytes: 16 << 20,
+            comp_s: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// One fault to inject mid-run (Figure 7 taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// A mid-fabric link flaps: hard-fails on an active path, healing on
+    /// its own while recovery backs off.
+    TransientLink {
+        /// Iteration at whose start the failure lands.
+        at_iter: u32,
+        /// Nominal outage duration (the link is back by the time the
+        /// engine's retry backoff has elapsed).
+        heal_after: SimDuration,
+    },
+    /// An optical module on one dual-ToR uplink of a job host dies for
+    /// good (fiber + both directions).
+    OpticalUplink {
+        /// Iteration at whose start the failure lands.
+        at_iter: u32,
+        /// Index into the job's host list.
+        host_index: usize,
+    },
+    /// A job host dies outright: every NIC port goes dark.
+    HostFailure {
+        /// Iteration at whose start the failure lands.
+        at_iter: u32,
+        /// Index into the job's host list.
+        host_index: usize,
+    },
+}
+
+impl InjectedFault {
+    fn at_iter(&self) -> u32 {
+        match *self {
+            InjectedFault::TransientLink { at_iter, .. }
+            | InjectedFault::OpticalUplink { at_iter, .. }
+            | InjectedFault::HostFailure { at_iter, .. } => at_iter,
+        }
+    }
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// Faults, any order; the engine injects each at its iteration.
+    pub faults: Vec<InjectedFault>,
+}
+
+/// What the engine concluded a fault was (from observables only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A link that aborted flows but healed / was steerable mid-fabric.
+    TransientLink,
+    /// A dead host-edge uplink with a surviving dual-ToR sibling.
+    OpticalDualTor,
+    /// A host no probe can reach.
+    HardHost,
+    /// A persistent slowdown without aborts.
+    FailSlow,
+}
+
+impl FaultClass {
+    /// The Figure-7 root cause this class maps onto.
+    pub fn root_cause(&self) -> RootCause {
+        match self {
+            FaultClass::TransientLink => RootCause::LinkFlap,
+            FaultClass::OpticalDualTor => RootCause::OpticalFiber,
+            FaultClass::HardHost => RootCause::GpuHardware,
+            FaultClass::FailSlow => RootCause::SwitchConfig,
+        }
+    }
+}
+
+/// How an incident was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationAction {
+    /// Victim QPs steered to new source ports; iteration retried.
+    EcmpReroute,
+    /// Traffic moved to the surviving ToR port (degraded bandwidth).
+    TorFailover,
+    /// Host(s) cordoned / drained, spare placed, job rolled back to the
+    /// last checkpoint.
+    RestartFromCheckpoint,
+    /// Recovery gave up (or was disabled).
+    Abort,
+}
+
+/// One detected-and-handled fault.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Iteration during which the alarm fired.
+    pub iter: u32,
+    /// Diagnosed class.
+    pub class: FaultClass,
+    /// Resolution.
+    pub action: MitigationAction,
+    /// Retry attempt number when this incident fired (0 = first).
+    pub retries: u32,
+    /// Detection + localization time (the MTTLF component).
+    pub locate_s: f64,
+    /// Mitigation time: backoff, failover, or restart (MTTR - MTTLF).
+    pub repair_s: f64,
+    /// Links the localization blamed.
+    pub blamed: Vec<LinkId>,
+    /// Hosts cordoned by this incident.
+    pub cordoned: Vec<HostId>,
+}
+
+/// Ground truth of one injection, for reporting (never used by recovery).
+#[derive(Debug, Clone)]
+pub struct InjectionRecord {
+    /// The fault as scripted.
+    pub fault: InjectedFault,
+    /// QPs whose live route crossed the failed link(s) at injection time.
+    pub blast_radius: usize,
+}
+
+/// End-to-end outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Whether every iteration completed.
+    pub completed: bool,
+    /// Iterations finished (≤ spec.iters).
+    pub iters_done: u32,
+    /// Wall-clock that produced retained training progress.
+    pub useful_s: f64,
+    /// Wall-clock of iterations discarded by checkpoint rollbacks.
+    pub lost_rollback_s: f64,
+    /// Wall-clock spent writing checkpoints.
+    pub checkpoint_s: f64,
+    /// Detection, backoff, failed attempts, and restart time.
+    pub downtime_s: f64,
+    /// Incidents in detection order.
+    pub incidents: Vec<Incident>,
+    /// Scripted injections with their blast radii (ground truth).
+    pub injections: Vec<InjectionRecord>,
+}
+
+impl RecoveryReport {
+    /// Total accounted wall-clock.
+    pub fn total_s(&self) -> f64 {
+        self.useful_s + self.lost_rollback_s + self.checkpoint_s + self.downtime_s
+    }
+
+    /// Goodput fraction: useful time over total (the Figure-10 y-axis,
+    /// a.k.a. effective-training-time ratio).
+    pub fn goodput(&self) -> f64 {
+        let t = self.total_s();
+        if t > 0.0 {
+            self.useful_s / t
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean time to recover: alarm to resumed training, per incident.
+    pub fn mttr_s(&self) -> Option<f64> {
+        let done: Vec<f64> = self
+            .incidents
+            .iter()
+            .filter(|i| i.action != MitigationAction::Abort)
+            .map(|i| i.locate_s + i.repair_s)
+            .collect();
+        (!done.is_empty()).then(|| done.iter().sum::<f64>() / done.len() as f64)
+    }
+
+    /// Mean time to locate a failure (detection + localization only).
+    pub fn mttlf_s(&self) -> Option<f64> {
+        let all: Vec<f64> = self.incidents.iter().map(|i| i.locate_s).collect();
+        (!all.is_empty()).then(|| all.iter().sum::<f64>() / all.len() as f64)
+    }
+}
+
+/// Run a training job under `policy` with `script`'s faults injected.
+/// Deterministic for a fixed (topology, policy, spec, script) tuple.
+pub fn run_training(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    script: &FaultScript,
+) -> RecoveryReport {
+    Engine::new(topo, *policy, *spec, script.clone()).run()
+}
+
+struct Engine<'t> {
+    topo: &'t Topology,
+    policy: RecoveryPolicy,
+    spec: TrainingJobSpec,
+    script: FaultScript,
+    runner: CollectiveRunner<'t>,
+    detector: OnlineDetector,
+    rng: SimRng,
+    hosts: Vec<HostId>,
+    group: Vec<GpuId>,
+    spares: Vec<HostId>,
+    injected: Vec<bool>,
+    /// Transient links awaiting their heal, restored during backoff.
+    pending_restores: Vec<LinkId>,
+    // accounting
+    iter_useful: Vec<f64>,
+    useful_s: f64,
+    lost_rollback_s: f64,
+    checkpoint_s: f64,
+    downtime_s: f64,
+    restarts: u32,
+    incidents: Vec<Incident>,
+    injections: Vec<InjectionRecord>,
+}
+
+impl<'t> Engine<'t> {
+    fn new(
+        topo: &'t Topology,
+        policy: RecoveryPolicy,
+        spec: TrainingJobSpec,
+        script: FaultScript,
+    ) -> Self {
+        let rails = topo.rails() as u32;
+        assert!(
+            spec.hosts + spec.spares <= topo.hosts().len(),
+            "job + spares exceed the fleet"
+        );
+        let hosts: Vec<HostId> = (0..spec.hosts as u32).map(HostId).collect();
+        let spares: Vec<HostId> = (spec.hosts as u32..(spec.hosts + spec.spares) as u32)
+            .map(HostId)
+            .collect();
+        let group: Vec<GpuId> = hosts.iter().map(|h| GpuId(h.0 * rails)).collect();
+        let injected = vec![false; script.faults.len()];
+        Engine {
+            topo,
+            policy,
+            spec,
+            script,
+            runner: CollectiveRunner::new(topo, RunnerConfig::default()),
+            detector: OnlineDetector::new(OnlineDetectorConfig::default()),
+            rng: SimRng::new(spec.seed),
+            hosts,
+            group,
+            spares,
+            injected,
+            pending_restores: Vec::new(),
+            iter_useful: vec![0.0; spec.iters as usize],
+            useful_s: 0.0,
+            lost_rollback_s: 0.0,
+            checkpoint_s: 0.0,
+            downtime_s: 0.0,
+            restarts: 0,
+            incidents: Vec::new(),
+            injections: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> RecoveryReport {
+        let mut it = 0u32;
+        let mut attempt = 0u32;
+        let mut completed = true;
+
+        while it < self.spec.iters {
+            if attempt == 0 {
+                if it > 0 && it.is_multiple_of(self.policy.checkpoint_interval) {
+                    self.checkpoint_s += self.policy.checkpoint_cost_s;
+                }
+                self.inject_due(it);
+            }
+
+            // One iteration: the computation phase is pure wall-clock
+            // accounting (the net clock only tracks network events), then
+            // the gradient AllReduce runs on the simulator.
+            let res = self.runner.all_reduce_flat(&self.group, self.spec.bytes);
+            let events = self.runner.sim_mut().drain_flow_events();
+            let aborted: Vec<QpId> = events
+                .iter()
+                .filter_map(|e| match e {
+                    FlowEvent::Aborted { qp, .. } => Some(*qp),
+                    FlowEvent::Requeued { .. } => None,
+                })
+                .collect();
+            let iter_s = self.spec.comp_s + res.duration.as_secs_f64();
+
+            let alarm = self.detector.observe_iteration(iter_s, aborted.len());
+            let Some(alarm) = alarm else {
+                self.iter_useful[it as usize] = iter_s;
+                self.useful_s += iter_s;
+                it += 1;
+                attempt = 0;
+                continue;
+            };
+
+            // The anomalous attempt's wall-clock: a collective that still
+            // delivered (flaky link healed mid-step) retains its progress;
+            // one with failed flows produced nothing.
+            let produced = res.failed_flows == 0;
+            if produced {
+                self.iter_useful[it as usize] = iter_s;
+                self.useful_s += iter_s;
+            } else {
+                self.downtime_s += iter_s;
+            }
+
+            if !self.policy.enabled {
+                self.incidents.push(Incident {
+                    iter: it,
+                    class: if aborted.is_empty() {
+                        FaultClass::FailSlow
+                    } else {
+                        FaultClass::TransientLink
+                    },
+                    action: MitigationAction::Abort,
+                    retries: attempt,
+                    locate_s: 0.0,
+                    repair_s: 0.0,
+                    blamed: Vec::new(),
+                    cordoned: Vec::new(),
+                });
+                completed = false;
+                break;
+            }
+
+            let incident = self.recover(it, &alarm, &aborted, attempt);
+            let action = incident.action;
+            let rolled_back_to = self.checkpoint_before(it);
+            self.incidents.push(incident);
+            match action {
+                MitigationAction::Abort => {
+                    completed = false;
+                    break;
+                }
+                MitigationAction::RestartFromCheckpoint => {
+                    self.rollback(rolled_back_to, it);
+                    it = rolled_back_to;
+                    attempt = 0;
+                }
+                MitigationAction::EcmpReroute | MitigationAction::TorFailover => {
+                    if produced {
+                        it += 1;
+                        attempt = 0;
+                    } else {
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+
+        RecoveryReport {
+            completed,
+            iters_done: if completed { self.spec.iters } else { 0 },
+            useful_s: self.useful_s,
+            lost_rollback_s: self.lost_rollback_s,
+            checkpoint_s: self.checkpoint_s,
+            downtime_s: self.downtime_s,
+            incidents: self.incidents,
+            injections: self.injections,
+        }
+    }
+
+    /// The closed loop for one alarm: localize via probes, pick a
+    /// mitigation, apply it, charge its cost.
+    fn recover(
+        &mut self,
+        it: u32,
+        alarm: &OnlineAlarm,
+        aborted: &[QpId],
+        attempt: u32,
+    ) -> Incident {
+        let locate_s = self.policy.detection_overhead_s;
+        self.downtime_s += locate_s;
+
+        let mut incident = Incident {
+            iter: it,
+            class: FaultClass::TransientLink,
+            action: MitigationAction::EcmpReroute,
+            retries: attempt,
+            locate_s,
+            repair_s: 0.0,
+            blamed: Vec::new(),
+            cordoned: Vec::new(),
+        };
+
+        // Escalation ladder: past the retry budget, restart; past the
+        // restart budget, give up.
+        if attempt > self.policy.retry_budget {
+            if self.restarts >= self.policy.max_restarts {
+                incident.action = MitigationAction::Abort;
+                return incident;
+            }
+            self.restarts += 1;
+            incident.action = MitigationAction::RestartFromCheckpoint;
+            incident.repair_s = self.policy.restart_overhead_s;
+            self.downtime_s += self.policy.restart_overhead_s;
+            return incident;
+        }
+
+        // Pure slowdown: steer flows off the hottest (ECN-marked) links.
+        if aborted.is_empty() {
+            let _ = alarm;
+            incident.class = FaultClass::FailSlow;
+            let hot: Vec<LinkId> = self
+                .runner
+                .sim()
+                .telemetry()
+                .hottest_links_by_ecn(2)
+                .into_iter()
+                .map(|(l, _)| l)
+                .collect();
+            let qps: Vec<QpId> = self
+                .runner
+                .sim()
+                .telemetry()
+                .qp_info
+                .keys()
+                .copied()
+                .collect();
+            for qp in qps {
+                self.steer_qp(qp, &hot);
+            }
+            incident.blamed = hot;
+            return incident;
+        }
+
+        // Localization: probe each aborted QP's current path hop by hop;
+        // the link after the last answering hop is the culprit.
+        let mut blamed: BTreeSet<LinkId> = BTreeSet::new();
+        let mut unreachable: Vec<QpId> = Vec::new();
+        for &qp in aborted {
+            let rec = self.qp_record(qp);
+            let probe = self
+                .runner
+                .sim()
+                .int_probe(rec.src_nic, rec.dst_nic, rec.tuple.src_port);
+            if probe.reached {
+                continue; // healed (transient outage already over)
+            }
+            if let Some(path) = self
+                .runner
+                .sim()
+                .route(rec.src_nic, rec.dst_nic, &rec.tuple)
+            {
+                if let Some(&dead) = path.get(probe.hops.len()) {
+                    blamed.insert(dead);
+                }
+            }
+            unreachable.push(qp);
+        }
+        incident.blamed = blamed.iter().copied().collect();
+
+        if unreachable.is_empty() {
+            // Transient, self-healed: move the victims off the flaky path
+            // so the next flap misses them, then continue.
+            for &qp in aborted {
+                self.steer_qp(qp, &incident.blamed);
+            }
+            incident.class = FaultClass::TransientLink;
+            incident.action = MitigationAction::EcmpReroute;
+            return incident;
+        }
+
+        // Try source-port steering around the blamed links.
+        let avoid: Vec<LinkId> = blamed.iter().copied().collect();
+        let mut dead_qps: Vec<QpId> = Vec::new();
+        for &qp in &unreachable {
+            if !self.steer_qp(qp, &avoid) {
+                dead_qps.push(qp);
+            }
+        }
+
+        if dead_qps.is_empty() {
+            // Every victim found a live path. Host-edge culprit → optical
+            // failover onto the surviving ToR port; otherwise a fabric
+            // link → plain reroute.
+            let edge_nics: Vec<(NodeId, LinkId)> = avoid
+                .iter()
+                .filter_map(|&l| self.host_edge_nic(l).map(|n| (n, l)))
+                .collect();
+            if edge_nics.is_empty() {
+                incident.class = FaultClass::TransientLink;
+                incident.action = MitigationAction::EcmpReroute;
+            } else {
+                let min_frac = edge_nics
+                    .iter()
+                    .map(|&(nic, l)| {
+                        let total = self.topo.out_links(nic).len().max(1);
+                        self.topo.alternate_uplinks(nic, l).len() as f64 / total as f64
+                    })
+                    .fold(1.0_f64, f64::min);
+                if min_frac < self.policy.degraded_bw_floor {
+                    // Too degraded to keep: drain the host and re-place.
+                    let drained: Vec<HostId> = edge_nics
+                        .iter()
+                        .filter_map(|&(nic, _)| self.nic_host(nic))
+                        .filter(|h| self.hosts.contains(h))
+                        .collect();
+                    return self.restart_with_replacement(incident, drained);
+                }
+                incident.class = FaultClass::OpticalDualTor;
+                incident.action = MitigationAction::TorFailover;
+            }
+            // Backoff before the retry (exponential in the attempt).
+            // Transient links come back while we wait: their restores are
+            // scheduled inside the backoff window and the clock is run
+            // past them, so the retry sees a healed fabric.
+            let backoff = SimDuration::from_secs_f64(
+                self.policy.backoff_base.as_secs_f64() * (1 << attempt.min(16)) as f64,
+            );
+            let now = self.runner.sim().now();
+            for l in std::mem::take(&mut self.pending_restores) {
+                self.runner.sim_mut().restore_link_at(now + backoff, l);
+            }
+            // Drain fully idle: restoring re-admits the failed attempt's
+            // flows (they redeliver their remaining bytes), and the retry
+            // must not race their completions.
+            self.runner
+                .sim_mut()
+                .run_until(now + backoff + SimDuration::from_micros(1));
+            self.runner.sim_mut().run_until_idle();
+            incident.repair_s = backoff.as_secs_f64();
+            self.downtime_s += incident.repair_s;
+            return incident;
+        }
+
+        // No steerable path: some endpoint is off the fabric entirely —
+        // a hard host fault. Identify the dead side(s) by probing toward
+        // a witness NIC, cordon them, and restart on spares.
+        let witness = self.witness_nic();
+        let mut dead_hosts: BTreeSet<HostId> = BTreeSet::new();
+        for &qp in &dead_qps {
+            let rec = self.qp_record(qp);
+            for nic in [rec.src_nic, rec.dst_nic] {
+                if let Some(h) = self.nic_host(nic) {
+                    if self.hosts.contains(&h) && !self.nic_reaches(nic, witness) {
+                        dead_hosts.insert(h);
+                    }
+                }
+            }
+        }
+        if dead_hosts.is_empty() {
+            // Unsteerable yet both ends alive: the fabric is partitioned
+            // beyond what ECMP can route around.
+            incident.class = FaultClass::TransientLink;
+            incident.action = MitigationAction::Abort;
+            return incident;
+        }
+        let dead: Vec<HostId> = dead_hosts.into_iter().collect();
+        self.restart_with_replacement(incident, dead)
+    }
+
+    /// Cordon `drained` hosts, pull spares into the group, and convert the
+    /// incident into a checkpoint restart.
+    fn restart_with_replacement(
+        &mut self,
+        mut incident: Incident,
+        drained: Vec<HostId>,
+    ) -> Incident {
+        if self.restarts >= self.policy.max_restarts {
+            incident.action = MitigationAction::Abort;
+            return incident;
+        }
+        let rails = self.topo.rails() as u32;
+        for &h in &drained {
+            let Some(slot) = self.hosts.iter().position(|&x| x == h) else {
+                continue;
+            };
+            let Some(spare) = self.spares.pop() else {
+                incident.action = MitigationAction::Abort;
+                incident.cordoned = drained.clone();
+                return incident;
+            };
+            self.hosts[slot] = spare;
+            self.group[slot] = GpuId(spare.0 * rails);
+        }
+        self.restarts += 1;
+        incident.class = FaultClass::HardHost;
+        incident.action = MitigationAction::RestartFromCheckpoint;
+        incident.cordoned = drained;
+        incident.repair_s = self.policy.restart_overhead_s;
+        self.downtime_s += self.policy.restart_overhead_s;
+        incident
+    }
+
+    /// Steer one QP to a source port whose path is alive and avoids
+    /// `avoid`; falls back to any alive path, then to any *different*
+    /// path. Returns false when no candidate reaches the destination.
+    fn steer_qp(&mut self, qp: QpId, avoid: &[LinkId]) -> bool {
+        let rec = self.qp_record(qp);
+        let cur = self
+            .runner
+            .sim()
+            .route(rec.src_nic, rec.dst_nic, &rec.tuple);
+        let base = rec.tuple.src_port.wrapping_sub(EPHEMERAL_BASE);
+        let mut fallback: Option<u16> = None;
+        for c in 1..=128u16 {
+            let sport = EPHEMERAL_BASE.wrapping_add(base.wrapping_add(c.wrapping_mul(197)));
+            let probe = self.runner.sim().int_probe(rec.src_nic, rec.dst_nic, sport);
+            if !probe.reached {
+                continue;
+            }
+            let path: Vec<LinkId> = probe.hops.iter().map(|h| h.link).collect();
+            if path.iter().any(|l| avoid.contains(l)) {
+                continue;
+            }
+            if avoid.is_empty() && Some(&path) == cur.as_ref() {
+                // Asked to move off the current path but this candidate
+                // re-hashes onto it; keep it only as a fallback.
+                fallback.get_or_insert(sport);
+                continue;
+            }
+            self.runner.sim_mut().reassign_sport(qp, sport);
+            return true;
+        }
+        if let Some(sport) = fallback {
+            self.runner.sim_mut().reassign_sport(qp, sport);
+            return true;
+        }
+        false
+    }
+
+    /// How many live QPs currently route across any of `links` — the
+    /// ground-truth blast radius recorded per injection.
+    fn qps_crossing(&self, links: &[LinkId]) -> usize {
+        self.runner
+            .sim()
+            .telemetry()
+            .qp_info
+            .values()
+            .filter(|r| {
+                self.runner
+                    .sim()
+                    .route(r.src_nic, r.dst_nic, &r.tuple)
+                    .is_some_and(|p| p.iter().any(|l| links.contains(l)))
+            })
+            .count()
+    }
+
+    /// The uplink currently carried by traffic sourced at `nic`, per the
+    /// live QP routes (lowest QP id wins, for determinism).
+    fn egress_uplink_in_use(&self, nic: NodeId) -> Option<LinkId> {
+        let tel = self.runner.sim().telemetry();
+        let mut qps: Vec<(QpId, QpRecord)> = tel
+            .qp_info
+            .iter()
+            .filter(|(_, r)| r.src_nic == nic)
+            .map(|(q, r)| (*q, r.clone()))
+            .collect();
+        qps.sort_by_key(|(q, _)| *q);
+        let (_, rec) = qps.first()?;
+        let path = self
+            .runner
+            .sim()
+            .route(rec.src_nic, rec.dst_nic, &rec.tuple)?;
+        path.first().copied()
+    }
+
+    /// Inject the script's faults that are due at iteration `it`.
+    fn inject_due(&mut self, it: u32) {
+        for i in 0..self.script.faults.len() {
+            if self.injected[i] || self.script.faults[i].at_iter() != it {
+                continue;
+            }
+            self.injected[i] = true;
+            let fault = self.script.faults[i];
+            let blast = self.inject(fault);
+            self.injections.push(InjectionRecord {
+                fault,
+                blast_radius: blast,
+            });
+        }
+    }
+
+    fn inject(&mut self, fault: InjectedFault) -> usize {
+        let now = self.runner.sim().now();
+        match fault {
+            InjectedFault::TransientLink { .. } => {
+                // A mid-fabric link some live QP currently routes over
+                // (never a host edge), chosen deterministically. The heal
+                // is not pre-scheduled — `run_until_idle` inside the
+                // collective would drain a future restore and desync the
+                // runner's virtual clock — the engine restores the link
+                // itself once recovery's backoff has elapsed.
+                let mut candidates: Vec<LinkId> = Vec::new();
+                let mut qps: Vec<(QpId, QpRecord)> = self
+                    .runner
+                    .sim()
+                    .telemetry()
+                    .qp_info
+                    .iter()
+                    .map(|(q, r)| (*q, r.clone()))
+                    .collect();
+                qps.sort_by_key(|(q, _)| *q);
+                for (_, rec) in &qps {
+                    if let Some(path) =
+                        self.runner
+                            .sim()
+                            .route(rec.src_nic, rec.dst_nic, &rec.tuple)
+                    {
+                        // Interior links only: strip the NIC→ToR first hop
+                        // and the ToR→NIC last hop.
+                        if path.len() >= 3 {
+                            candidates.extend(&path[1..path.len() - 1]);
+                        }
+                    }
+                }
+                candidates.sort();
+                candidates.dedup();
+                let Some(&l) =
+                    candidates.get(self.rng.below(candidates.len().max(1) as u64) as usize)
+                else {
+                    return 0;
+                };
+                let blast = self.qps_crossing(&[l]);
+                self.runner.sim_mut().fail_link_at(now, l);
+                self.pending_restores.push(l);
+                blast
+            }
+            InjectedFault::OpticalUplink { host_index, .. } => {
+                let host = self.hosts[host_index % self.hosts.len()];
+                let nic = self.topo.host(host).nics[0];
+                // Kill the side the host's traffic is actually riding, so
+                // the fault manifests regardless of how the QPs hashed.
+                let up = self
+                    .egress_uplink_in_use(nic)
+                    .unwrap_or_else(|| self.topo.out_links(nic)[0]);
+                let down = self
+                    .topo
+                    .link_between(self.topo.link(up).dst, nic)
+                    .expect("duplex");
+                let blast = self.qps_crossing(&[up, down]);
+                self.runner.sim_mut().fail_link_at(now, up);
+                self.runner.sim_mut().fail_link_at(now, down);
+                blast
+            }
+            InjectedFault::HostFailure { host_index, .. } => {
+                let host = self.hosts[host_index % self.hosts.len()];
+                let nics = self.topo.host(host).nics.clone();
+                let mut dead: Vec<LinkId> = Vec::new();
+                for nic in nics {
+                    for &up in self.topo.out_links(nic) {
+                        dead.push(up);
+                        if let Some(down) = self.topo.link_between(self.topo.link(up).dst, nic) {
+                            dead.push(down);
+                        }
+                    }
+                }
+                let blast = self.qps_crossing(&dead);
+                for l in dead {
+                    self.runner.sim_mut().fail_link_at(now, l);
+                }
+                blast
+            }
+        }
+    }
+
+    /// Move iterations after the last checkpoint from useful to lost.
+    fn rollback(&mut self, to: u32, current: u32) {
+        for i in to..current {
+            let s = std::mem::take(&mut self.iter_useful[i as usize]);
+            self.useful_s -= s;
+            self.lost_rollback_s += s;
+        }
+    }
+
+    fn checkpoint_before(&self, it: u32) -> u32 {
+        it - it % self.policy.checkpoint_interval
+    }
+
+    fn qp_record(&self, qp: QpId) -> QpRecord {
+        self.runner.sim().telemetry().qp_info[&qp].clone()
+    }
+
+    fn nic_host(&self, nic: NodeId) -> Option<HostId> {
+        match self.topo.node(nic).kind {
+            NodeKind::Nic { host, .. } => Some(host),
+            _ => None,
+        }
+    }
+
+    /// A link is "host edge" when one endpoint is a NIC; returns that NIC.
+    fn host_edge_nic(&self, l: LinkId) -> Option<NodeId> {
+        let link = self.topo.link(l);
+        for n in [link.src, link.dst] {
+            if matches!(self.topo.node(n).kind, NodeKind::Nic { .. }) {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// A healthy NIC outside the suspect set, used as a probe target.
+    fn witness_nic(&self) -> NodeId {
+        let h = self
+            .spares
+            .first()
+            .copied()
+            .unwrap_or_else(|| *self.hosts.last().expect("job has hosts"));
+        self.topo.host(h).nics[0]
+    }
+
+    /// Can `nic` reach `witness` on any of a handful of candidate ports?
+    fn nic_reaches(&self, nic: NodeId, witness: NodeId) -> bool {
+        if nic == witness {
+            return true;
+        }
+        (0..8u16).any(|c| {
+            self.runner
+                .sim()
+                .int_probe(
+                    nic,
+                    witness,
+                    EPHEMERAL_BASE.wrapping_add(c.wrapping_mul(911)),
+                )
+                .reached
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astral_topo::{build_astral, AstralParams};
+
+    fn topo() -> Topology {
+        build_astral(&AstralParams::sim_small())
+    }
+
+    fn quick_spec() -> TrainingJobSpec {
+        TrainingJobSpec {
+            iters: 10,
+            bytes: 4 << 20,
+            comp_s: 0.2,
+            ..TrainingJobSpec::default()
+        }
+    }
+
+    #[test]
+    fn healthy_run_has_full_goodput_minus_checkpoints() {
+        let t = topo();
+        let r = run_training(
+            &t,
+            &RecoveryPolicy::default(),
+            &quick_spec(),
+            &FaultScript::default(),
+        );
+        assert!(r.completed);
+        assert_eq!(r.iters_done, 10);
+        assert!(r.incidents.is_empty());
+        assert_eq!(r.downtime_s, 0.0);
+        assert_eq!(r.lost_rollback_s, 0.0);
+        assert!(r.goodput() > 0.97, "goodput {}", r.goodput());
+    }
+
+    #[test]
+    fn transient_link_is_rerouted_without_rollback() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::TransientLink {
+                at_iter: 3,
+                heal_after: SimDuration::from_millis(30),
+            }],
+        };
+        let r = run_training(&t, &RecoveryPolicy::default(), &quick_spec(), &script);
+        assert!(r.completed, "incidents: {:?}", r.incidents);
+        assert_eq!(r.lost_rollback_s, 0.0);
+        assert!(!r.incidents.is_empty());
+        assert!(r
+            .incidents
+            .iter()
+            .all(|i| i.action == MitigationAction::EcmpReroute));
+        assert_eq!(r.injections.len(), 1);
+        assert!(r.injections[0].blast_radius > 0);
+        assert!(r.mttr_s().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn optical_fault_fails_over_to_surviving_tor() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::OpticalUplink {
+                at_iter: 3,
+                host_index: 2,
+            }],
+        };
+        let r = run_training(&t, &RecoveryPolicy::default(), &quick_spec(), &script);
+        assert!(r.completed, "incidents: {:?}", r.incidents);
+        assert!(r
+            .incidents
+            .iter()
+            .any(|i| i.class == FaultClass::OpticalDualTor
+                && i.action == MitigationAction::TorFailover));
+        // Failover keeps the host: nothing cordoned, no rollback.
+        assert!(r.incidents.iter().all(|i| i.cordoned.is_empty()));
+        assert_eq!(r.lost_rollback_s, 0.0);
+    }
+
+    #[test]
+    fn degraded_floor_forces_replacement_instead_of_failover() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::OpticalUplink {
+                at_iter: 3,
+                host_index: 2,
+            }],
+        };
+        let policy = RecoveryPolicy {
+            degraded_bw_floor: 0.9, // half bandwidth unacceptable
+            ..RecoveryPolicy::default()
+        };
+        let r = run_training(&t, &policy, &quick_spec(), &script);
+        assert!(r.completed, "incidents: {:?}", r.incidents);
+        assert!(
+            r.incidents
+                .iter()
+                .any(|i| i.action == MitigationAction::RestartFromCheckpoint
+                    && !i.cordoned.is_empty())
+        );
+    }
+
+    #[test]
+    fn hard_host_fault_is_cordoned_and_restarted() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::HostFailure {
+                at_iter: 6,
+                host_index: 1,
+            }],
+        };
+        let r = run_training(&t, &RecoveryPolicy::default(), &quick_spec(), &script);
+        assert!(r.completed, "incidents: {:?}", r.incidents);
+        let hard: Vec<&Incident> = r
+            .incidents
+            .iter()
+            .filter(|i| i.class == FaultClass::HardHost)
+            .collect();
+        assert_eq!(hard.len(), 1);
+        assert_eq!(hard[0].cordoned, vec![HostId(1)]);
+        assert_eq!(hard[0].action, MitigationAction::RestartFromCheckpoint);
+        // Rolled back from iteration 6 to the checkpoint at 5.
+        assert!(r.lost_rollback_s > 0.0);
+    }
+
+    #[test]
+    fn disabled_policy_aborts_on_first_fault() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::HostFailure {
+                at_iter: 2,
+                host_index: 1,
+            }],
+        };
+        let r = run_training(&t, &RecoveryPolicy::disabled(), &quick_spec(), &script);
+        assert!(!r.completed);
+        assert_eq!(r.incidents.last().unwrap().action, MitigationAction::Abort);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![
+                InjectedFault::TransientLink {
+                    at_iter: 2,
+                    heal_after: SimDuration::from_millis(30),
+                },
+                InjectedFault::HostFailure {
+                    at_iter: 6,
+                    host_index: 3,
+                },
+            ],
+        };
+        let a = run_training(&t, &RecoveryPolicy::default(), &quick_spec(), &script);
+        let b = run_training(&t, &RecoveryPolicy::default(), &quick_spec(), &script);
+        assert_eq!(a.goodput(), b.goodput());
+        assert_eq!(a.incidents.len(), b.incidents.len());
+        assert_eq!(a.useful_s, b.useful_s);
+        assert_eq!(a.downtime_s, b.downtime_s);
+    }
+}

@@ -35,20 +35,67 @@ struct GroupEnds {
     recv: Option<OpId>,
 }
 
+/// Rejected model/parallelism combinations — both configs are user
+/// supplied, so the checks surface as values rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `ParallelismConfig::validate` failed (zero degrees, ep ∤ dp, …).
+    InvalidParallelism(String),
+    /// The layer count does not divide evenly into pipeline stages.
+    LayersNotDivisible {
+        /// Model layer count.
+        layers: u32,
+        /// Pipeline-parallel degree.
+        pp: u32,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::InvalidParallelism(why) => {
+                write!(f, "invalid parallelism config: {why}")
+            }
+            BuildError::LayersNotDivisible { layers, pp } => {
+                write!(f, "layers {layers} must divide evenly into pp {pp} stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+fn check_configs(model: &ModelConfig, par: &ParallelismConfig) -> Result<(), BuildError> {
+    par.validate().map_err(BuildError::InvalidParallelism)?;
+    if !model.layers.is_multiple_of(par.pp) {
+        return Err(BuildError::LayersNotDivisible {
+            layers: model.layers,
+            pp: par.pp,
+        });
+    }
+    Ok(())
+}
+
 /// Build the operator graph of one *training* iteration.
 ///
 /// Devices are pipeline stages (TP peers execute the same timeline; TP
 /// communication appears as ops on the stage's stream; DP replicas are
 /// identical, so one pipeline is representative and DP sync ops carry the
 /// DP group size).
+///
+/// Panics on invalid configs; [`try_build_training_iteration`] is the
+/// fallible variant.
 pub fn build_training_iteration(model: &ModelConfig, par: &ParallelismConfig) -> OperatorGraph {
-    par.validate().expect("invalid parallelism config");
-    assert!(
-        model.layers % par.pp == 0,
-        "layers {} must divide evenly into pp {} stages",
-        model.layers,
-        par.pp
-    );
+    try_build_training_iteration(model, par).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`build_training_iteration`]: user-supplied configs that don't
+/// fit together come back as a [`BuildError`].
+pub fn try_build_training_iteration(
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+) -> Result<OperatorGraph, BuildError> {
+    check_configs(model, par)?;
     let pp = par.pp;
     let m = par.microbatches as usize;
     let mut g = OperatorGraph::new(pp);
@@ -90,15 +137,15 @@ pub fn build_training_iteration(model: &ModelConfig, par: &ParallelismConfig) ->
     for s in 0..pp {
         let warmup = ((pp - s - 1) as usize).min(m);
         let mut order: Vec<GroupEnds> = Vec::with_capacity(2 * m);
-        for k in 0..warmup {
-            order.push(fwd[s as usize][k].unwrap());
+        for f in fwd[s as usize].iter().take(warmup) {
+            order.push(f.unwrap());
         }
         for i in 0..(m - warmup) {
             order.push(fwd[s as usize][warmup + i].unwrap());
             order.push(bwd[s as usize][i].unwrap());
         }
-        for k in (m - warmup)..m {
-            order.push(bwd[s as usize][k].unwrap());
+        for b in bwd[s as usize].iter().take(m).skip(m - warmup) {
+            order.push(b.unwrap());
         }
         for w in order.windows(2) {
             g.add_dep(w[1].first, w[0].last);
@@ -107,23 +154,40 @@ pub fn build_training_iteration(model: &ModelConfig, par: &ParallelismConfig) ->
         // the final backward group (bucketed grad reduce); without, it
         // waits for the backward to finish.
         let tail = order.last().unwrap();
-        let anchor = if par.overlap_grad_sync { tail.first } else { tail.last };
+        let anchor = if par.overlap_grad_sync {
+            tail.first
+        } else {
+            tail.last
+        };
         emit_dp_sync(&mut g, model, par, s, anchor);
     }
 
     debug_assert_eq!(g.validate(), Ok(()));
-    g
+    Ok(g)
 }
 
 /// Build the operator graph of one inference step (single pipeline, `tp`
 /// from `par`; `batch` sequences).
+///
+/// Panics on invalid configs; [`try_build_inference`] is the fallible
+/// variant.
 pub fn build_inference(
     model: &ModelConfig,
     par: &ParallelismConfig,
     batch: u64,
     phase: InferencePhase,
 ) -> OperatorGraph {
-    assert!(model.layers % par.pp == 0);
+    try_build_inference(model, par, batch, phase).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`build_inference`].
+pub fn try_build_inference(
+    model: &ModelConfig,
+    par: &ParallelismConfig,
+    batch: u64,
+    phase: InferencePhase,
+) -> Result<OperatorGraph, BuildError> {
+    check_configs(model, par)?;
     let mut g = OperatorGraph::new(par.pp);
     let mut prev_send: Option<OpId> = None;
     for s in 0..par.pp {
@@ -134,7 +198,7 @@ pub fn build_inference(
         prev_send = ends.send;
     }
     debug_assert_eq!(g.validate(), Ok(()));
-    g
+    Ok(g)
 }
 
 // ---------------------------------------------------------------------
@@ -235,8 +299,7 @@ fn emit_pass(
         PassKind::Forward | PassKind::Inference => s > 0,
         PassKind::Backward => s + 1 < pp,
     };
-    let logit_flops =
-        |t: u64| t as f64 * 2.0 * h as f64 * model.vocab as f64 / tp as f64;
+    let logit_flops = |t: u64| t as f64 * 2.0 * h as f64 * model.vocab as f64 / tp as f64;
     let recv = needs_recv.then(|| {
         push(
             g,
@@ -292,8 +355,7 @@ fn emit_pass(
                     coll: Collective::AllGather,
                     group: GroupKind::Dp,
                     group_size: par.dp,
-                    bytes: stage_sync_params(model, par, s) * dt
-                        / (model.layers / pp) as u64,
+                    bytes: stage_sync_params(model, par, s) * dt / (model.layers / pp) as u64,
                 },
             );
         }
@@ -402,7 +464,6 @@ fn emit_pass(
     // Boundary send. The send is asynchronous: it depends on the group's
     // last compute op, but the next group chains off the compute op, not
     // the send (Megatron issues isend and moves on).
-    drop(push);
     let last_compute = state.chain.expect("pass emitted no ops");
     let mut push =
         |g: &mut OperatorGraph, name: String, kind: OpKind| -> OpId { state.push(g, name, kind) };
@@ -423,7 +484,6 @@ fn emit_pass(
         )
     });
 
-    drop(push);
     GroupEnds {
         first: state.first.expect("pass emitted no ops"),
         last: last_compute,
@@ -723,6 +783,27 @@ fn emit_inference_stage(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bad_configs_come_back_as_errors() {
+        let m = small_model();
+        let mut par = ParallelismConfig::new(1, 3, 1);
+        par.microbatches = 2;
+        // 4 layers cannot split into 3 stages.
+        assert_eq!(
+            try_build_training_iteration(&m, &par).err(),
+            Some(BuildError::LayersNotDivisible { layers: 4, pp: 3 })
+        );
+        assert!(matches!(
+            try_build_inference(&m, &par, 8, InferencePhase::Prefill { prompt_len: 128 }),
+            Err(BuildError::LayersNotDivisible { .. })
+        ));
+        let zero = ParallelismConfig::new(0, 1, 1);
+        assert!(matches!(
+            try_build_training_iteration(&m, &zero),
+            Err(BuildError::InvalidParallelism(_))
+        ));
+    }
 
     fn small_model() -> ModelConfig {
         ModelConfig {

@@ -231,9 +231,7 @@ impl ModelConfig {
         let mats = self.ffn_matrices() as f64;
         let ffn = match self.moe {
             None => 2.0 * mats * h * self.ffn_hidden as f64, // 2 flops/MAC
-            Some(m) => {
-                2.0 * mats * h * m.expert_ffn_hidden as f64 * m.top_k as f64
-            }
+            Some(m) => 2.0 * mats * h * m.expert_ffn_hidden as f64 * m.top_k as f64,
         };
         qkv + core + proj + ffn
     }
@@ -260,10 +258,7 @@ mod tests {
         // Classic GPT-3 arithmetic lands near 175B; our layer accounting
         // (no positional embeddings, tied head counted twice) should be
         // within a few percent.
-        assert!(
-            (p as f64 - 175e9).abs() / 175e9 < 0.05,
-            "gpt3 params = {p}"
-        );
+        assert!((p as f64 - 175e9).abs() / 175e9 < 0.05, "gpt3 params = {p}");
     }
 
     #[test]

@@ -25,13 +25,16 @@
 
 #![warn(missing_docs)]
 
-pub mod chakra;
 mod builder;
+pub mod chakra;
 mod config;
 mod ops;
 mod parallel;
 
-pub use builder::{build_inference, build_training_iteration, InferencePhase};
+pub use builder::{
+    build_inference, build_training_iteration, try_build_inference, try_build_training_iteration,
+    BuildError, InferencePhase,
+};
 pub use config::{ModelConfig, MoeConfig};
 pub use ops::{Collective, GroupKind, OpId, OpKind, Operator, OperatorGraph};
 pub use parallel::{DpSync, ParallelismConfig};

@@ -263,12 +263,7 @@ impl OperatorGraph {
         let mut seen = HashMap::new();
         let mut out = Vec::new();
         for op in &self.ops {
-            let base = op
-                .name
-                .split('@')
-                .next()
-                .unwrap_or(&op.name)
-                .to_string();
+            let base = op.name.split('@').next().unwrap_or(&op.name).to_string();
             if seen.insert(base.clone(), ()).is_none() {
                 out.push((base, op.kind.type_label()));
             }
@@ -344,9 +339,24 @@ mod tests {
     #[test]
     fn inventory_dedups_by_base_name() {
         let mut g = OperatorGraph::new(1);
-        g.push("RMSNormComputation@L0", 0, OpKind::Compute { flops: 1.0 }, vec![]);
-        g.push("RMSNormComputation@L1", 0, OpKind::Compute { flops: 1.0 }, vec![]);
-        g.push("RMSNormLoadWeight@L0", 0, OpKind::Memory { bytes: 1 }, vec![]);
+        g.push(
+            "RMSNormComputation@L0",
+            0,
+            OpKind::Compute { flops: 1.0 },
+            vec![],
+        );
+        g.push(
+            "RMSNormComputation@L1",
+            0,
+            OpKind::Compute { flops: 1.0 },
+            vec![],
+        );
+        g.push(
+            "RMSNormLoadWeight@L0",
+            0,
+            OpKind::Memory { bytes: 1 },
+            vec![],
+        );
         let inv = g.operator_inventory();
         assert_eq!(
             inv,
@@ -362,7 +372,11 @@ mod tests {
         assert_eq!(OpKind::Compute { flops: 0.0 }.type_label(), "Comp.");
         assert_eq!(OpKind::Memory { bytes: 0 }.type_label(), "Mem.");
         assert_eq!(
-            OpKind::Fused { flops: 0.0, bytes: 0 }.type_label(),
+            OpKind::Fused {
+                flops: 0.0,
+                bytes: 0
+            }
+            .type_label(),
             "Mem. + Comp."
         );
         assert_eq!(

@@ -74,7 +74,7 @@ impl ParallelismConfig {
         if self.tp == 0 || self.pp == 0 || self.dp == 0 || self.ep == 0 {
             return Err("parallel degrees must be positive".into());
         }
-        if self.dp % self.ep != 0 {
+        if !self.dp.is_multiple_of(self.ep) {
             return Err(format!("ep {} must divide dp {}", self.ep, self.dp));
         }
         if self.microbatches == 0 || self.micro_batch_size == 0 {

@@ -1,8 +1,6 @@
 //! Property-based tests for model configs, parallelism, and graphs.
 
-use astral_model::{
-    build_training_iteration, chakra, ModelConfig, ParallelismConfig,
-};
+use astral_model::{build_training_iteration, chakra, ModelConfig, ParallelismConfig};
 use proptest::prelude::*;
 
 fn small_model(layers: u32) -> ModelConfig {

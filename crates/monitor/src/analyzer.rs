@@ -131,14 +131,7 @@ impl Analyzer {
         if !slow_qps.is_empty()
             && (manifestation == Manifestation::FailSlow || !comm_outliers.is_empty())
         {
-            return self.branch_comm_slow(
-                snap,
-                prober,
-                manifestation,
-                slow_qps,
-                evidence,
-                queries,
-            );
+            return self.branch_comm_slow(snap, prober, manifestation, slow_qps, evidence, queries);
         }
 
         // ---- Branch #1: computation anomalies ----
@@ -406,11 +399,7 @@ impl Analyzer {
             let Some(rec) = snap.qp(qp) else { continue };
             let probe = prober.probe(rec.src_nic, rec.dst_nic, rec.tuple.src_port);
             queries += 1;
-            let Some(worst) = probe
-                .hops
-                .iter()
-                .max_by_key(|h| h.delay)
-            else {
+            let Some(worst) = probe.hops.iter().max_by_key(|h| h.delay) else {
                 continue;
             };
             let worst_us = worst.delay.as_nanos() as f64 / 1e3;
@@ -450,9 +439,8 @@ impl Analyzer {
                         queries,
                     };
                 }
-                evidence.push(
-                    "no degraded host found; pauses attributed to fabric-side fault".into(),
-                );
+                evidence
+                    .push("no degraded host found; pauses attributed to fabric-side fault".into());
                 return Diagnosis {
                     manifestation,
                     cause: CauseClass::SwitchOrFabric,
@@ -491,20 +479,12 @@ fn endpoint_host(snap: &Snapshot, nic: NodeId) -> Option<HostId> {
     for r in &snap.qp_registry {
         if r.src_nic == nic {
             if let Some(g) = r.ctx.src_gpu {
-                return snap
-                    .ranks
-                    .iter()
-                    .find(|rk| rk.gpu == g)
-                    .map(|rk| rk.host);
+                return snap.ranks.iter().find(|rk| rk.gpu == g).map(|rk| rk.host);
             }
         }
         if r.dst_nic == nic {
             if let Some(g) = r.ctx.dst_gpu {
-                return snap
-                    .ranks
-                    .iter()
-                    .find(|rk| rk.gpu == g)
-                    .map(|rk| rk.host);
+                return snap.ranks.iter().find(|rk| rk.gpu == g).map(|rk| rk.host);
             }
         }
     }
@@ -534,7 +514,7 @@ fn outliers<I: Iterator<Item = (HostId, f64)>>(samples: I, z: f64) -> Vec<HostId
         .into_iter()
         .filter(|&(_, v)| {
             if mad > f64::EPSILON {
-                summary.robust_zscore(v).map_or(false, |s| s > z)
+                summary.robust_zscore(v).is_some_and(|s| s > z)
             } else {
                 // Degenerate fleet (all identical): any host that moved by
                 // a large relative margin is the outlier.
@@ -555,13 +535,15 @@ mod tests {
     use astral_topo::GpuId;
 
     fn base_snapshot(hosts: u32) -> Snapshot {
-        let mut s = Snapshot::default();
-        s.job = Some(JobDesc {
-            job: 0,
-            hosts: (0..hosts).map(HostId).collect(),
-            expected_iters: 10,
-            expected_iter_s: 1.0,
-        });
+        let mut s = Snapshot {
+            job: Some(JobDesc {
+                job: 0,
+                hosts: (0..hosts).map(HostId).collect(),
+                expected_iters: 10,
+                expected_iter_s: 1.0,
+            }),
+            ..Snapshot::default()
+        };
         for h in 0..hosts {
             s.ranks.push(RankProgress {
                 gpu: GpuId(h * 4),

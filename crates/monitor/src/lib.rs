@@ -11,6 +11,8 @@
 //!   threshold-agnostic cross-host comparison, Branch #1 (computation →
 //!   physical logs) and Branch #2 (communication → QP → path overlap /
 //!   INT hop delays → switch counters).
+//! * [`OnlineDetector`] — incremental per-iteration anomaly detection,
+//!   the entry point the closed-loop recovery engine polls mid-training.
 //! * [`run_fault_scenario`] — failure injection campaigns over the
 //!   flow-level simulator, standing in for production incidents.
 //! * [`mttlf`] — the Figure 10 time-to-locate model (manual bisection vs
@@ -24,12 +26,14 @@
 mod analyzer;
 pub mod mttlf;
 pub mod offline;
+mod online;
 pub mod overhead;
 mod scenario;
 mod snapshot;
 mod taxonomy;
 
 pub use analyzer::{Analyzer, AnalyzerConfig, Culprit, Diagnosis};
+pub use online::{OnlineAlarm, OnlineDetector, OnlineDetectorConfig};
 pub use scenario::{run_fault_scenario, Fault, ScenarioConfig, ScenarioOutcome, TruthCulprit};
 pub use snapshot::{CannedProber, HostHealth, IntProber, JobDesc, RankProgress, Snapshot};
 pub use taxonomy::{

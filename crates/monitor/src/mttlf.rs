@@ -160,7 +160,10 @@ mod tests {
         let stop = f(Manifestation::FailStop);
         let hang = f(Manifestation::FailHang);
         let slow = f(Manifestation::FailSlow);
-        assert!(slow < stop && slow < hang, "slow {slow} stop {stop} hang {hang}");
+        assert!(
+            slow < stop && slow < hang,
+            "slow {slow} stop {stop} hang {hang}"
+        );
         assert!(hang > stop, "hang benefits most: {hang} vs {stop}");
     }
 }

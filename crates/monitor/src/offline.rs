@@ -49,7 +49,11 @@ impl HostConfig {
 }
 
 /// A configuration field that deviates from the fleet majority.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: `field` is a `&'static str` (a field name chosen by
+/// [`check_config_consistency`]), which no serde implementation can
+/// deserialize into.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ConfigDeviation {
     /// The deviating host.
     pub host: HostId,
@@ -167,8 +171,7 @@ mod tests {
 
     #[test]
     fn consistent_fleet_passes() {
-        let configs: Vec<HostConfig> =
-            (0..16).map(|h| HostConfig::standard(HostId(h))).collect();
+        let configs: Vec<HostConfig> = (0..16).map(|h| HostConfig::standard(HostId(h))).collect();
         assert!(check_config_consistency(&configs).is_empty());
     }
 

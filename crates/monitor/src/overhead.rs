@@ -62,10 +62,7 @@ impl OverheadModel {
 
     /// INT storage per day for a cluster of `gpus`, in bytes.
     pub fn int_storage_per_day_bytes(&self, gpus: u64) -> f64 {
-        self.int_bytes_per_probe as f64
-            * self.int_probes_per_s_per_gpu
-            * gpus as f64
-            * 86_400.0
+        self.int_bytes_per_probe as f64 * self.int_probes_per_s_per_gpu * gpus as f64 * 86_400.0
     }
 
     /// INT storage retained at steady state, bytes.

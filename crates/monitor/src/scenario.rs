@@ -159,7 +159,7 @@ pub fn run_fault_scenario<'t>(
     let mut rng = SimRng::new(cfg.seed);
     let mut runner = CollectiveRunner::new(topo, RunnerConfig::default());
     assert!(
-        cfg.hosts * cfg.host_stride as usize <= topo.hosts().len() + cfg.host_stride as usize - 1,
+        cfg.hosts * (cfg.host_stride as usize) < topo.hosts().len() + cfg.host_stride as usize,
         "strided job exceeds the fleet"
     );
     let hosts: Vec<HostId> = (0..cfg.hosts as u32)
@@ -253,9 +253,7 @@ pub fn run_fault_scenario<'t>(
                         .filter(|p| p.len() >= 3)
                         .collect();
                     paths.sort();
-                    let link = paths
-                        .first()
-                        .and_then(|p| topo.link_between(p[1], p[2]));
+                    let link = paths.first().and_then(|p| topo.link_between(p[1], p[2]));
                     if let Some(l) = link {
                         let now = runner.sim().now();
                         runner.sim_mut().fail_link_at(now, l);
@@ -311,13 +309,15 @@ pub fn run_fault_scenario<'t>(
 
     // --- Build the snapshot ---
     let healthy_comm = iter_durations.first().copied().unwrap_or(0.0);
-    let mut snap = Snapshot::default();
-    snap.job = Some(JobDesc {
-        job: 0,
-        hosts: hosts.clone(),
-        expected_iters: cfg.iters,
-        expected_iter_s: cfg.comp_base_s + healthy_comm,
-    });
+    let mut snap = Snapshot {
+        job: Some(JobDesc {
+            job: 0,
+            hosts: hosts.clone(),
+            expected_iters: cfg.iters,
+            expected_iter_s: cfg.comp_base_s + healthy_comm,
+        }),
+        ..Snapshot::default()
+    };
     snap.harvest_network(runner.sim());
     if let Some(l) = flap_link {
         *snap.link_flaps.entry(l).or_insert(0) += 2;
@@ -346,8 +346,7 @@ pub fn run_fault_scenario<'t>(
     }
 
     // Hosts touched by errCQE QPs (for error-log attribution).
-    let errored_qps: std::collections::HashSet<QpId> =
-        snap.err_cqe.iter().map(|e| e.qp).collect();
+    let errored_qps: std::collections::HashSet<QpId> = snap.err_cqe.iter().map(|e| e.qp).collect();
     let host_errored = |h: HostId| -> bool {
         snap.qp_registry.iter().any(|r| {
             errored_qps.contains(&r.qp)

@@ -164,13 +164,10 @@ pub struct CannedProber {
 
 impl IntProber for CannedProber {
     fn probe(&self, src: NodeId, dst: NodeId, _sport: u16) -> IntProbe {
-        self.probes
-            .get(&(src, dst))
-            .cloned()
-            .unwrap_or(IntProbe {
-                hops: Vec::new(),
-                reached: true,
-            })
+        self.probes.get(&(src, dst)).cloned().unwrap_or(IntProbe {
+            hops: Vec::new(),
+            reached: true,
+        })
     }
 }
 

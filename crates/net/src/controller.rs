@@ -157,8 +157,15 @@ impl EcmpController {
         // first so the biggest contributors move first.
         let mut victims: Vec<usize> = (0..flows.len())
             .filter(|&i| {
-                simulate_route(topo, router, hasher, flows[i].src, flows[i].dst, flows[i].sport)
-                    .map_or(false, |p| p.iter().any(|l| hot.contains(l)))
+                simulate_route(
+                    topo,
+                    router,
+                    hasher,
+                    flows[i].src,
+                    flows[i].dst,
+                    flows[i].sport,
+                )
+                .is_some_and(|p| p.iter().any(|l| hot.contains(l)))
             })
             .collect();
         victims.sort_by_key(|&i| std::cmp::Reverse(flows[i].bytes));

@@ -53,12 +53,14 @@ pub fn max_min_rates(
         for l in 0..nl {
             if load[l] > 1e-12 {
                 let fill = remaining[l] / load[l];
-                if best.map_or(true, |(_, b)| fill < b) {
+                if best.is_none_or(|(_, b)| fill < b) {
                     best = Some((l, fill));
                 }
             }
         }
-        let Some((bottleneck, delta)) = best else { break };
+        let Some((bottleneck, delta)) = best else {
+            break;
+        };
         let delta = delta.max(0.0);
         level += delta;
 
@@ -127,10 +129,7 @@ pub fn check_bottleneck_property(
             let l = l as usize;
             let saturated = used[l] >= capacity[l] * (1.0 - 1e-6) - 1e-6;
             if saturated {
-                let max_share = links
-                    .iter()
-                    .map(|&_l2| rates[f])
-                    .fold(0.0f64, f64::max);
+                let max_share = links.iter().map(|&_l2| rates[f]).fold(0.0f64, f64::max);
                 let is_max_on_l = flow_links
                     .iter()
                     .enumerate()

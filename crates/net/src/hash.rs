@@ -119,13 +119,11 @@ impl EcmpHasher {
                 (s, (s % 63) as u32 + 1)
             }
         };
-        let base = mix(
-            self.seed
-                ^ salt
-                ^ ((tuple.src_ip as u64) << 32 | tuple.dst_ip as u64)
-                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                ^ ((tuple.dst_port as u64) << 8 | tuple.proto as u64),
-        );
+        let base = mix(self.seed
+            ^ salt
+            ^ ((tuple.src_ip as u64) << 32 | tuple.dst_ip as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            ^ ((tuple.dst_port as u64) << 8 | tuple.proto as u64));
         base ^ sport_layer(tuple.src_port).rotate_left(rot)
     }
 

@@ -43,6 +43,6 @@ pub use fairness::{check_bottleneck_property, max_min_rates};
 pub use fivetuple::{ip_of_nic, FiveTuple, QpContext, QpId, EPHEMERAL_BASE, ROCE_PORT};
 pub use hash::{sport_layer, EcmpHasher, SaltMode};
 pub use sim::{
-    FlowId, FlowSpec, FlowState, FlowStats, IntHop, IntProbe, NetConfig, NetworkSim,
+    FlowEvent, FlowId, FlowSpec, FlowState, FlowStats, IntHop, IntProbe, NetConfig, NetworkSim,
 };
 pub use telemetry::{ErrCqe, LinkCounters, QpRecord, Telemetry};

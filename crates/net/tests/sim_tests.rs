@@ -49,8 +49,16 @@ fn two_flows_on_one_port_share_fairly() {
     let qp2 = sim.register_qp(src, topo.gpu_nic(GpuId(36)), 50_000, QpContext::anonymous());
     let bytes = 250_000_000u64;
     let stats = sim.run_flows(&[
-        FlowSpec { qp: qp1, bytes, weight: 1.0 },
-        FlowSpec { qp: qp2, bytes, weight: 1.0 },
+        FlowSpec {
+            qp: qp1,
+            bytes,
+            weight: 1.0,
+        },
+        FlowSpec {
+            qp: qp2,
+            bytes,
+            weight: 1.0,
+        },
     ]);
     for s in &stats {
         let rate = s.avg_rate_bps().unwrap();
@@ -85,7 +93,10 @@ fn incast_shares_receiver_port() {
     let total: f64 = stats.iter().map(|s| s.avg_rate_bps().unwrap()).sum();
     // Receiver NIC has 2×200G ports; senders hash across dual ToRs, so the
     // ceiling is 400G and the floor (all on one port) is 200G.
-    assert!(total <= 401e9, "incast exceeded receiver capacity: {total:.3e}");
+    assert!(
+        total <= 401e9,
+        "incast exceeded receiver capacity: {total:.3e}"
+    );
     assert!(total >= 195e9);
 }
 
@@ -140,6 +151,50 @@ fn flows_injected_after_failure_also_error() {
 }
 
 #[test]
+fn restore_readmits_aborted_flows() {
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let qp = qp_between(&mut sim, &topo, 0, 32);
+    let bytes = 250_000_000u64; // ~10 ms at 200G
+    let id = sim
+        .inject(FlowSpec {
+            qp,
+            bytes,
+            weight: 1.0,
+        })
+        .unwrap();
+    sim.run_until(SimTime::from_micros(10));
+    let first_link = sim.stats(id).path[0];
+
+    // The blast radius of the scheduled failure is exactly our flow.
+    let affected = sim.fail_link_at(SimTime::from_micros(20), first_link);
+    assert_eq!(affected, vec![id]);
+
+    // Let the abort land (one RTO after the failure), then restore the
+    // link mid-run.
+    sim.run_until(SimTime::from_millis(5));
+    assert_eq!(sim.stats(id).state, FlowState::Failed);
+    let events = sim.drain_flow_events();
+    assert!(matches!(
+        events.as_slice(),
+        [astral_net::FlowEvent::Aborted { flow, .. }] if *flow == id
+    ));
+
+    sim.restore_link_at(SimTime::from_millis(6), first_link);
+    sim.run_until_idle();
+
+    // The flow was re-admitted and ran to completion.
+    let st = sim.stats(id);
+    assert_eq!(st.state, FlowState::Done);
+    assert!((st.delivered - bytes as f64).abs() < 1.0);
+    let events = sim.drain_flow_events();
+    assert!(matches!(
+        events.as_slice(),
+        [astral_net::FlowEvent::Requeued { flow, .. }] if *flow == id
+    ));
+}
+
+#[test]
 fn degraded_host_triggers_pfc_and_slows_victims() {
     let topo = fixture();
     let cfg = NetConfig::default();
@@ -177,7 +232,10 @@ fn degraded_host_triggers_pfc_and_slows_victims() {
 
     // PFC pause counters must have accumulated somewhere.
     let pfc_total: u64 = sim.telemetry().link.iter().map(|c| c.pfc_pause_ns).sum();
-    assert!(pfc_total > 0, "degraded saturated drain must emit PFC pauses");
+    assert!(
+        pfc_total > 0,
+        "degraded saturated drain must emit PFC pauses"
+    );
 
     // The victim must have been slowed below its clean-network rate at some
     // point (head-of-line loss), visible in its completion.
@@ -214,11 +272,7 @@ fn int_probe_sees_congested_hops() {
         "saturated hop delay too small: {max_delay}"
     );
     // An idle pair's probe shows only propagation-scale delays.
-    let idle = sim.int_probe(
-        topo.gpu_nic(GpuId(8)),
-        topo.gpu_nic(GpuId(40)),
-        50_000,
-    );
+    let idle = sim.int_probe(topo.gpu_nic(GpuId(8)), topo.gpu_nic(GpuId(40)), 50_000);
     assert!(idle.reached);
     for h in idle.hops {
         assert!(h.delay < SimDuration::from_micros(10));
@@ -292,8 +346,7 @@ fn controller_loop_reduces_ecn_rounds() {
         ctl.rebalance(&topo, sim.router(), &sim.config().hasher, &mut flows, &hot);
     }
     assert!(
-        ecn_per_round.last().unwrap() < ecn_per_round.first().unwrap()
-            || ecn_per_round[0] == 0,
+        ecn_per_round.last().unwrap() < ecn_per_round.first().unwrap() || ecn_per_round[0] == 0,
         "ECN did not decrease over controller rounds: {ecn_per_round:?}"
     );
 }
@@ -318,8 +371,18 @@ fn weighted_flows_split_proportionally() {
     let topo = fixture();
     let mut sim = NetworkSim::new(&topo, NetConfig::default());
     let src = topo.gpu_nic(GpuId(0));
-    let qp1 = sim.register_qp(src, topo.gpu_nic(GpuId(128)), 50_000, QpContext::anonymous());
-    let qp2 = sim.register_qp(src, topo.gpu_nic(GpuId(128)), 50_000, QpContext::anonymous());
+    let qp1 = sim.register_qp(
+        src,
+        topo.gpu_nic(GpuId(128)),
+        50_000,
+        QpContext::anonymous(),
+    );
+    let qp2 = sim.register_qp(
+        src,
+        topo.gpu_nic(GpuId(128)),
+        50_000,
+        QpContext::anonymous(),
+    );
     // Identical tuples → identical path → shared bottleneck, weights 1:3.
     let big = sim
         .inject(FlowSpec {
@@ -346,4 +409,70 @@ fn weighted_flows_split_proportionally() {
         ((ts - tb) / ts).abs() < 0.01,
         "weighted co-finish violated: {ts} vs {tb}"
     );
+}
+
+/// Dual-ToR failover (paper P3): two flows out of one host ride different
+/// ToR sides at full port rate; after one optical uplink dies, both are
+/// steered onto the surviving side and still complete — at half the
+/// aggregate bandwidth.
+#[test]
+fn dual_tor_failover_halves_bandwidth_but_completes() {
+    use astral_net::{QpContext, EPHEMERAL_BASE};
+
+    let topo = fixture();
+    let mut sim = NetworkSim::new(&topo, NetConfig::default());
+    let src = topo.gpu_nic(GpuId(0));
+    let uplinks = topo.out_links(src).to_vec();
+    assert_eq!(uplinks.len(), 2, "dual-ToR host has two uplinks");
+
+    // A source port whose ECMP hash puts src→dst traffic on `side`.
+    let sport_on = |sim: &NetworkSim, dst, side| {
+        (0..2048u16)
+            .map(|c| EPHEMERAL_BASE.wrapping_add(c))
+            .find(|&sp| {
+                let p = sim.int_probe(src, dst, sp);
+                p.reached && p.hops.first().map(|h| h.link) == Some(side)
+            })
+            .expect("some sport hashes onto this side")
+    };
+
+    let da = topo.gpu_nic(GpuId(32));
+    let db = topo.gpu_nic(GpuId(36));
+    let qa = sim.register_qp_auto(src, da, QpContext::anonymous());
+    let qb = sim.register_qp_auto(src, db, QpContext::anonymous());
+
+    // Healthy: one flow per ToR side, both at the full 200G port rate.
+    sim.reassign_sport(qa, sport_on(&sim, da, uplinks[0]));
+    sim.reassign_sport(qb, sport_on(&sim, db, uplinks[1]));
+    let bytes = 250_000_000u64;
+    let mk = |qp| FlowSpec {
+        qp,
+        bytes,
+        weight: 1.0,
+    };
+    let healthy = sim.run_flows(&[mk(qa), mk(qb)]);
+    for st in &healthy {
+        assert_eq!(st.state, FlowState::Done);
+        let rate = st.avg_rate_bps().unwrap();
+        assert!(
+            (rate - 200e9).abs() / 200e9 < 0.02,
+            "expected ~200G, got {rate:.3e}"
+        );
+    }
+
+    // Optical fault on side 0 → steer its flow onto the surviving side.
+    sim.fail_link_at(sim.now(), uplinks[0]);
+    sim.reassign_sport(qa, sport_on(&sim, da, uplinks[1]));
+    let ida = sim.inject(mk(qa)).unwrap();
+    let idb = sim.inject(mk(qb)).unwrap();
+    sim.run_until_idle();
+    for id in [ida, idb] {
+        let st = sim.stats(id);
+        assert_eq!(st.state, FlowState::Done, "flow must survive failover");
+        let rate = st.avg_rate_bps().unwrap();
+        assert!(
+            (rate - 100e9).abs() / 100e9 < 0.05,
+            "expected ~100G (halved), got {rate:.3e}"
+        );
+    }
 }

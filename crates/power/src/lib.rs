@@ -16,7 +16,5 @@ mod renewable;
 mod trace;
 
 pub use hvdc::{HvdcUnit, PowerChain, RackPower};
-pub use renewable::{
-    co2_avoided_kg, paper_renewable_kwh, RenewableFleet, GRID_KG_CO2_PER_KWH,
-};
+pub use renewable::{co2_avoided_kg, paper_renewable_kwh, RenewableFleet, GRID_KG_CO2_PER_KWH};
 pub use trace::{peak_over_tdp, power_trace, DailyLoadModel, PowerIntensity};

@@ -55,10 +55,7 @@ pub fn power_trace(
         // Activity at time t: compute stream dominates; comm adds a little.
         let mut frac = intensity.idle;
         for e in &entries {
-            let (s, en) = (
-                e.start.as_secs_f64(),
-                e.end.as_secs_f64(),
-            );
+            let (s, en) = (e.start.as_secs_f64(), e.end.as_secs_f64());
             if t >= s && t < en {
                 let f = match e.stream {
                     Stream::Compute => {
@@ -134,8 +131,7 @@ impl DailyLoadModel {
             6..=7 => 0.3,
             _ => unreachable!(),
         };
-        self.inference_trough_frac
-            + (self.inference_peak_frac - self.inference_trough_frac) * day
+        self.inference_trough_frac + (self.inference_peak_frac - self.inference_trough_frac) * day
     }
 
     /// Hourly (inference_w, training_w, total_w) over one day.

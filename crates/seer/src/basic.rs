@@ -90,10 +90,7 @@ mod tests {
         let dp = t_dp_comm(175_000_000_000, f, 8, 16, bw);
         assert!(dp > 0.0);
         // DP moves parameters, independent of batch.
-        assert_eq!(
-            t_dp_comm(100, f, 2, 2, bw),
-            100.0 * 16.0 / 4.0 / bw
-        );
+        assert_eq!(t_dp_comm(100, f, 2, 2, bw), 100.0 * 16.0 / 4.0 / bw);
     }
 
     #[test]

@@ -135,12 +135,7 @@ impl Calibration {
 
     /// Calibrated `(efficiency, alpha_override)` for a communication op of
     /// `bytes` on `scope`, falling back kind → scope-Ring → uncalibrated.
-    pub fn comm_params(
-        &self,
-        scope: CommScope,
-        kind: CommKind,
-        bytes: u64,
-    ) -> (f64, Option<f64>) {
+    pub fn comm_params(&self, scope: CommScope, kind: CommKind, bytes: u64) -> (f64, Option<f64>) {
         if let Some(c) = self.comm.get(&(scope, kind)) {
             return (c.eff.efficiency(bytes as f64), Some(c.alpha_s));
         }

@@ -48,8 +48,7 @@ pub use timeline::{schedule, OpPricer, Stream, Timeline, TimelineEntry};
 pub use truth::GroundTruth;
 
 use astral_model::{
-    build_inference, build_training_iteration, InferencePhase, ModelConfig,
-    ParallelismConfig,
+    build_inference, build_training_iteration, InferencePhase, ModelConfig, ParallelismConfig,
 };
 
 /// A complete Seer forecast.

@@ -69,7 +69,7 @@ pub fn scope_of(
         return CommScope::Nvlink;
     }
     let rails = net.rails.max(1);
-    let rail_aligned = |stride: u32| stride % rails == 0;
+    let rail_aligned = |stride: u32| stride.is_multiple_of(rails);
     match group {
         GroupKind::Tp => CommScope::CrossRail,
         GroupKind::Dp | GroupKind::Ep => {
@@ -102,9 +102,7 @@ impl OpPricer for ModelPricer<'_> {
         let gpu = &self.cfg.gpu;
         let cal = &self.cfg.calibration;
         match op.kind {
-            OpKind::Compute { flops } => {
-                flops / (gpu.peak_flops * cal.compute.efficiency(flops))
-            }
+            OpKind::Compute { flops } => flops / (gpu.peak_flops * cal.compute.efficiency(flops)),
             OpKind::Memory { bytes } => {
                 bytes as f64 / (gpu.hbm_bw * cal.memory.efficiency(bytes as f64))
             }
@@ -140,9 +138,7 @@ impl OpPricer for ModelPricer<'_> {
                 let n = group_size as usize;
                 match coll {
                     Collective::AllReduce => cost::all_reduce(n, bytes, eff_bw, alpha),
-                    Collective::ReduceScatter => {
-                        cost::reduce_scatter(n, bytes, eff_bw, alpha)
-                    }
+                    Collective::ReduceScatter => cost::reduce_scatter(n, bytes, eff_bw, alpha),
                     Collective::AllGather => cost::all_gather(n, bytes, eff_bw, alpha),
                     Collective::AllToAll => cost::all_to_all(n, bytes, eff_bw, alpha),
                     Collective::Broadcast => cost::broadcast(n, bytes, eff_bw, alpha),
@@ -254,7 +250,7 @@ mod tests {
     #[test]
     fn ep_scope_follows_rail_alignment() {
         let net = crate::suites::NetworkSpec::astral(); // 8 rails, hb 8
-        // tp = 8 = rails: EP members stride 8 → rail-aligned.
+                                                        // tp = 8 = rails: EP members stride 8 → rail-aligned.
         let aligned = ParallelismConfig::new(8, 2, 8);
         assert_eq!(
             scope_of(GroupKind::Ep, 64, &net, &aligned),

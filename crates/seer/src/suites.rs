@@ -162,12 +162,7 @@ impl NetworkSpec {
     /// NVLink domain rides NVLink; the rest rides the rail (hierarchical
     /// execution). This is what makes Figure 14's curves *progressive* in
     /// the HB-domain size rather than a cliff.
-    pub fn blended_link_for(
-        &self,
-        kind: GroupKind,
-        group_size: u32,
-        stride: u32,
-    ) -> (f64, f64) {
+    pub fn blended_link_for(&self, kind: GroupKind, group_size: u32, stride: u32) -> (f64, f64) {
         if let Some(x) = self.crossdc {
             if x.affected == kind {
                 return (x.per_gpu_bw_bps, self.alpha_s + x.latency_s);
@@ -191,7 +186,12 @@ mod tests {
 
     #[test]
     fn gpu_templates_are_distinct_and_sane() {
-        for g in [GpuSpec::h100(), GpuSpec::a100(), GpuSpec::h20(), GpuSpec::v100()] {
+        for g in [
+            GpuSpec::h100(),
+            GpuSpec::a100(),
+            GpuSpec::h20(),
+            GpuSpec::v100(),
+        ] {
             assert!(g.peak_flops > 1e14);
             assert!(g.hbm_bw > 1e11);
             assert!(g.tdp_w > g.idle_w);

@@ -15,9 +15,7 @@ use crate::suites::GpuSpec;
 use crate::timeline::{schedule, OpPricer, Timeline};
 use crate::truth::GroundTruth;
 use astral_collectives::{CollectiveRunner, RunnerConfig};
-use astral_model::{
-    Collective, GroupKind, OpKind, Operator, OperatorGraph, ParallelismConfig,
-};
+use astral_model::{Collective, GroupKind, OpKind, Operator, OperatorGraph, ParallelismConfig};
 use astral_sim::SimRng;
 use astral_topo::{GpuId, Topology};
 use std::cell::RefCell;
@@ -63,12 +61,7 @@ impl<'a> Testbed<'a> {
 
     /// Representative GPU group for a communicator of `kind`/`size` under
     /// contiguous placement (rank *r* → GPU *r*).
-    pub fn group_gpus(
-        &self,
-        par: &ParallelismConfig,
-        kind: GroupKind,
-        size: u32,
-    ) -> Vec<GpuId> {
+    pub fn group_gpus(&self, par: &ParallelismConfig, kind: GroupKind, size: u32) -> Vec<GpuId> {
         if let Some(map) = &self.placement {
             assert!(
                 map.len() as u32 >= par.world(),
@@ -110,9 +103,7 @@ impl<'a> Testbed<'a> {
         if crosses_dc {
             return CommScope::CrossDc;
         }
-        let in_one_domain = gpus
-            .iter()
-            .all(|&g| self.topo.same_hb_domain(g, gpus[0]));
+        let in_one_domain = gpus.iter().all(|&g| self.topo.same_hb_domain(g, gpus[0]));
         if in_one_domain {
             return CommScope::Nvlink;
         }
@@ -309,12 +300,12 @@ impl<'a> Testbed<'a> {
             CommScope::CrossRail,
             CommScope::CrossDc,
         ] {
-            cal.comm.entry((scope, CommKind::Ring)).or_insert_with(|| {
-                CommCalibration {
+            cal.comm
+                .entry((scope, CommKind::Ring))
+                .or_insert_with(|| CommCalibration {
                     alpha_s: 10e-6,
                     eff: crate::calibrate::EfficiencyCurve::constant(0.75),
-                }
-            });
+                });
         }
         cal
     }
@@ -418,8 +409,7 @@ mod tests {
         let tb = Testbed::new(&topo, GpuSpec::h100());
         let par = small_par();
         let bytes = 1u64 << 26;
-        let measured =
-            tb.measure_collective(&par, Collective::AllReduce, GroupKind::Dp, 4, bytes);
+        let measured = tb.measure_collective(&par, Collective::AllReduce, GroupKind::Dp, 4, bytes);
         let ideal = astral_collectives::cost::all_reduce(4, bytes, 400e9, 12e-6);
         assert!(
             measured > ideal,

@@ -98,10 +98,7 @@ impl Timeline {
 
     /// Entries of one device, start-ordered.
     pub fn device_entries(&self, device: u32) -> Vec<&TimelineEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.device == device)
-            .collect()
+        self.entries.iter().filter(|e| e.device == device).collect()
     }
 
     /// Per-operator-family total durations (for timeline comparisons like
@@ -110,8 +107,7 @@ impl Timeline {
         let mut acc: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
         for e in &self.entries {
             let base = e.name.split('@').next().unwrap_or(&e.name).to_string();
-            *acc.entry(base).or_insert(0.0) +=
-                e.end.saturating_since(e.start).as_secs_f64();
+            *acc.entry(base).or_insert(0.0) += e.end.saturating_since(e.start).as_secs_f64();
         }
         let mut v: Vec<(String, f64)> = acc.into_iter().collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));

@@ -18,7 +18,10 @@ pub struct Polynomial {
 impl Polynomial {
     /// Build from low-to-high coefficients.
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "a polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -34,10 +37,7 @@ impl Polynomial {
 
     /// Evaluate at `x` (Horner's method).
     pub fn eval(&self, x: f64) -> f64 {
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * x + c)
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
     }
 }
 
@@ -127,8 +127,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
 
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            // `row > col`, so split the matrix to borrow the pivot row and the
+            // current row simultaneously.
+            let (upper, lower) = a.split_at_mut(row);
+            for (cur, piv) in lower[0][col..n].iter_mut().zip(&upper[col][col..n]) {
+                *cur -= factor * piv;
             }
             b[row] -= factor * b[col];
         }
@@ -187,7 +190,14 @@ mod tests {
         // Deterministic "noise" that averages out.
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 5.0 + 2.0 * x + if x as u64 % 2 == 0 { 0.1 } else { -0.1 })
+            .map(|&x| {
+                5.0 + 2.0 * x
+                    + if (x as u64).is_multiple_of(2) {
+                        0.1
+                    } else {
+                        -0.1
+                    }
+            })
             .collect();
         let p = polyfit(&xs, &ys, 1).unwrap();
         assert!((p.coeffs()[0] - 5.0).abs() < 0.05);
@@ -204,7 +214,10 @@ mod tests {
 
     #[test]
     fn length_mismatch_is_an_error() {
-        assert_eq!(polyfit(&[1.0, 2.0], &[1.0], 0), Err(FitError::LengthMismatch));
+        assert_eq!(
+            polyfit(&[1.0, 2.0], &[1.0], 0),
+            Err(FitError::LengthMismatch)
+        );
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl SimRng {
     /// Returns `None` if the total weight is zero or the slice is empty.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().sum();
-        if !(total > 0.0) {
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let mut target = self.next_f64() * total;
@@ -142,10 +142,7 @@ impl RngCore for SimRng {
     fn next_u64(&mut self) -> u64 {
         // xoshiro256++
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

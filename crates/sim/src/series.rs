@@ -24,7 +24,7 @@ impl TimeSeries {
     /// Append a sample. Samples must arrive in nondecreasing time order.
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(last, _)| t >= last),
+            self.points.last().is_none_or(|&(last, _)| t >= last),
             "time series samples must be time-ordered"
         );
         self.points.push((t, v));
@@ -150,9 +150,7 @@ mod tests {
     #[test]
     fn resample_marks_empty_bins() {
         let s = series(&[(0, 1.0), (1, 2.0), (9, 4.0)]);
-        let bins = s.resample(t(0), t(12), SimDuration::from_millis(4), |v| {
-            v.iter().sum()
-        });
+        let bins = s.resample(t(0), t(12), SimDuration::from_millis(4), |v| v.iter().sum());
         assert_eq!(bins.len(), 3);
         assert_eq!(bins[0].1, Some(3.0));
         assert_eq!(bins[1].1, None);

@@ -290,7 +290,8 @@ pub struct AstralDcHandles {
 pub fn build_astral(p: &AstralParams) -> Topology {
     let mut topo = Topology::new("astral", p.rails, p.hb);
     build_astral_dc(&mut topo, DcId(0), p);
-    topo.validate().expect("astral builder produced an invalid fabric");
+    topo.validate()
+        .expect("astral builder produced an invalid fabric");
     topo
 }
 
@@ -327,7 +328,10 @@ mod tests {
             t.tier_count(1) as u64,
             p.scale().tors_per_pod * p.pods as u64
         );
-        assert_eq!(t.tier_count(2) as u64, p.scale().aggs_per_pod * p.pods as u64);
+        assert_eq!(
+            t.tier_count(2) as u64,
+            p.scale().aggs_per_pod * p.pods as u64
+        );
         assert_eq!(t.tier_count(3) as u64, p.scale().cores_total);
     }
 

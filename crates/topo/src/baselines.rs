@@ -50,10 +50,13 @@ impl BaselineParams {
 pub fn build_clos(p: &BaselineParams) -> Topology {
     let b = &p.base;
     assert!(
-        b.hosts_per_block % b.rails as u16 == 0,
+        b.hosts_per_block.is_multiple_of(b.rails as u16),
         "hosts_per_block must be divisible by rails for host-group ToRs"
     );
-    assert!(p.tier3_oversub >= 1.0, "oversubscription ratio must be >= 1");
+    assert!(
+        p.tier3_oversub >= 1.0,
+        "oversubscription ratio must be >= 1"
+    );
     let mut topo = Topology::new("clos", b.rails, b.hb);
     let dc = DcId(0);
     let nic_bw = b.nic_port_gbps * GBPS;
@@ -66,13 +69,11 @@ pub fn build_clos(p: &BaselineParams) -> Topology {
     // Single shared core bank. Per-ToR downlink capacity: its host group's
     // NICs, one port each.
     let cores_total = aggs_per_pod;
-    let tor_down =
-        (b.hosts_per_block / host_groups) as f64 * b.rails as f64 * nic_bw;
+    let tor_down = (b.hosts_per_block / host_groups) as f64 * b.rails as f64 * nic_bw;
     // Pod aggregate into tier 2 = every ToR's uplink total (= downlink total).
     let agg_down_total = tors_per_block as f64 * b.blocks_per_pod as f64 * tor_down;
     let core_link_bw =
         agg_down_total / p.tier3_oversub / (aggs_per_pod as f64 * cores_total as f64);
-
 
     let cores: Vec<NodeId> = (0..cores_total)
         .map(|r| {
@@ -115,9 +116,8 @@ pub fn build_clos(p: &BaselineParams) -> Topology {
                     tors[(hg * b.tors_per_rail as u16 + side as u16) as usize] = tor;
                     // Full interconnection at tier 2: ToR downlink capacity
                     // spread over every Agg of the pod.
-                    let tor_down = b.hosts_per_block as f64 / host_groups as f64
-                        * b.rails as f64
-                        * nic_bw;
+                    let tor_down =
+                        b.hosts_per_block as f64 / host_groups as f64 * b.rails as f64 * nic_bw;
                     let uplink_bw = tor_down / aggs_per_pod as f64;
                     for &agg in &aggs {
                         topo.add_duplex(tor, agg, uplink_bw, lat);
@@ -148,7 +148,8 @@ pub fn build_clos(p: &BaselineParams) -> Topology {
         }
     }
 
-    topo.validate().expect("clos builder produced an invalid fabric");
+    topo.validate()
+        .expect("clos builder produced an invalid fabric");
     topo
 }
 
@@ -157,7 +158,10 @@ pub fn build_clos(p: &BaselineParams) -> Topology {
 /// to every Agg of its pod — and tier 3 is oversubscribed.
 pub fn build_rail_optimized(p: &BaselineParams) -> Topology {
     let b = &p.base;
-    assert!(p.tier3_oversub >= 1.0, "oversubscription ratio must be >= 1");
+    assert!(
+        p.tier3_oversub >= 1.0,
+        "oversubscription ratio must be >= 1"
+    );
     let mut topo = Topology::new("rail-optimized", b.rails, b.hb);
     let dc = DcId(0);
     let nic_bw = b.nic_port_gbps * GBPS;
@@ -249,10 +253,7 @@ pub fn build_rail_optimized(p: &BaselineParams) -> Topology {
 /// route** — traffic must transit the NVLink domain, which is exactly the
 /// scalability limit the paper calls out for MoE all-to-all.
 pub fn build_rail_only(b: &AstralParams) -> Topology {
-    assert_eq!(
-        b.pods, 1,
-        "rail-only is a single flat fabric; use pods = 1"
-    );
+    assert_eq!(b.pods, 1, "rail-only is a single flat fabric; use pods = 1");
     let mut topo = Topology::new("rail-only", b.rails, b.hb);
     let dc = DcId(0);
     let nic_bw = b.nic_port_gbps * GBPS;
@@ -409,11 +410,8 @@ mod tests {
     fn baselines_preserve_host_injection_bandwidth() {
         // All architectures give each host rails × ports × 200G.
         let p = BaselineParams::sim_small(2.0);
-        let expected = p.base.rails as f64
-            * p.base.tors_per_rail as f64
-            * p.base.nic_port_gbps
-            * GBPS
-            * 64.0; // hosts in sim_small
+        let expected =
+            p.base.rails as f64 * p.base.tors_per_rail as f64 * p.base.nic_port_gbps * GBPS * 64.0; // hosts in sim_small
         for topo in [
             crate::astral::build_astral(&p.base),
             build_clos(&p),

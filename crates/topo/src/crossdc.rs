@@ -83,9 +83,9 @@ pub fn build_cross_dc(p: &CrossDcParams) -> Topology {
 
         // Every core attaches to every gateway with enough capacity that the
         // core→gate segment is not a tighter bottleneck than the long haul.
-        let core_gate_bw =
-            pair_budget * (p.dcs as f64 - 1.0) / handles.cores.len() as f64
-                / p.gateways_per_dc as f64;
+        let core_gate_bw = pair_budget * (p.dcs as f64 - 1.0)
+            / handles.cores.len() as f64
+            / p.gateways_per_dc as f64;
         for &core in &handles.cores {
             for &gate in &gates {
                 topo.add_duplex(core, gate, core_gate_bw, p.dc.link_latency);
@@ -119,9 +119,7 @@ pub fn effective_oversub(topo: &Topology) -> f64 {
     let tier3: f64 = topo
         .links()
         .iter()
-        .filter(|l| {
-            topo.node(l.src).kind.tier() == 2 && topo.node(l.dst).kind.tier() == 3
-        })
+        .filter(|l| topo.node(l.src).kind.tier() == 2 && topo.node(l.dst).kind.tier() == 3)
         .map(|l| l.bandwidth_bps)
         .sum();
     let long_haul: f64 = topo
@@ -159,10 +157,7 @@ mod tests {
         let t = build_cross_dc(&p);
         let r = Router::new();
         let gpus_per_dc = t.gpu_count() / 2;
-        let (a, b) = (
-            t.gpu_nic(GpuId(0)),
-            t.gpu_nic(GpuId(gpus_per_dc)),
-        );
+        let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(gpus_per_dc)));
         // nic→tor→agg→core→gate→gate→core→agg→tor→nic = 9 hops.
         assert_eq!(r.distance(&t, a, b), Some(9));
         let path = r.path_with(&t, a, b, |_, _| 0).unwrap();
@@ -174,11 +169,7 @@ mod tests {
             })
             .count();
         assert_eq!(gates, 1, "exactly one long-haul hop");
-        let long = path
-            .iter()
-            .map(|&l| t.link(l).latency)
-            .max()
-            .unwrap();
+        let long = path.iter().map(|&l| t.link(l).latency).max().unwrap();
         assert_eq!(long, p.long_haul_latency());
     }
 

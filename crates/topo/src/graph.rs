@@ -222,13 +222,21 @@ impl Topology {
         self.link_index.get(&(src, dst)).copied()
     }
 
+    /// The surviving uplinks of a NIC once `failed` dies — on a dual-ToR
+    /// fabric these are the ports to the other side's ToR that a failover
+    /// can steer traffic onto (paper P3). Empty when the NIC is
+    /// single-homed, i.e. the failure severs the host from the fabric.
+    pub fn alternate_uplinks(&self, nic: NodeId, failed: LinkId) -> Vec<LinkId> {
+        self.out_links(nic)
+            .iter()
+            .copied()
+            .filter(|&l| l != failed)
+            .collect()
+    }
+
     /// Rebuild the `(src,dst) -> link` index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.link_index = self
-            .links
-            .iter()
-            .map(|l| ((l.src, l.dst), l.id))
-            .collect();
+        self.link_index = self.links.iter().map(|l| ((l.src, l.dst), l.id)).collect();
     }
 
     /// Rails (GPUs / NICs) per host.
@@ -299,9 +307,7 @@ impl Topology {
     pub fn tier_bandwidth(&self, from: u8, to: u8) -> f64 {
         self.links
             .iter()
-            .filter(|l| {
-                self.node(l.src).kind.tier() == from && self.node(l.dst).kind.tier() == to
-            })
+            .filter(|l| self.node(l.src).kind.tier() == from && self.node(l.dst).kind.tier() == to)
             .map(|l| l.bandwidth_bps)
             .sum()
     }

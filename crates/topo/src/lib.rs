@@ -41,5 +41,5 @@ pub use baselines::{build_clos, build_rail_only, build_rail_optimized, BaselineP
 pub use crossdc::{build_cross_dc, effective_oversub, CrossDcParams, FIBER_US_PER_KM};
 pub use graph::{HbDomainSpec, Host, Link, Node, Topology, GBPS};
 pub use ids::{DcId, GpuId, HostId, LinkId, NodeId, NodeKind};
-pub use routing::{DistField, Hop, Phase, Router};
+pub use routing::{DistField, Hop, Phase, Router, RoutingError};
 pub use wiring::{mac_of, verify_wiring, Cable, CablePlan, WiringMistake};

@@ -31,6 +31,31 @@ const INF: u16 = u16::MAX;
 /// Hard bound on path length; anything longer indicates a routing bug.
 const MAX_HOPS: usize = 64;
 
+/// Routing failures on user-supplied topologies. Well-formed Clos fabrics
+/// never produce these; hand-built [`Topology`] graphs with inconsistent
+/// tiers or adjacency can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingError {
+    /// A walk exceeded the hop bound — the link structure cycles, so
+    /// valley-free forwarding cannot terminate.
+    HopLimitExceeded {
+        /// The hop bound that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::HopLimitExceeded { limit } => {
+                write!(f, "routing loop: path exceeded {limit} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
 /// Which phase of a valley-free walk we are in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -115,13 +140,7 @@ impl Router {
     /// Equal-cost next hops from `cur` (in `phase`) toward `dst`, in
     /// deterministic (link-id) order. Empty when `cur == dst` or no route
     /// exists.
-    pub fn next_hops(
-        &self,
-        topo: &Topology,
-        cur: NodeId,
-        phase: Phase,
-        dst: NodeId,
-    ) -> Vec<Hop> {
+    pub fn next_hops(&self, topo: &Topology, cur: NodeId, phase: Phase, dst: NodeId) -> Vec<Hop> {
         let field = self.dist_field(topo, dst);
         next_hops_in(topo, &field, cur, phase, dst)
     }
@@ -138,13 +157,30 @@ impl Router {
         topo: &Topology,
         src_nic: NodeId,
         dst_nic: NodeId,
-        mut choose: F,
+        choose: F,
     ) -> Option<Vec<LinkId>>
     where
         F: FnMut(NodeId, &[Hop]) -> usize,
     {
+        self.try_path_with(topo, src_nic, dst_nic, choose)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Router::path_with`] for hand-built topologies:
+    /// a cyclic link structure yields [`RoutingError::HopLimitExceeded`]
+    /// instead of panicking.
+    pub fn try_path_with<F>(
+        &self,
+        topo: &Topology,
+        src_nic: NodeId,
+        dst_nic: NodeId,
+        mut choose: F,
+    ) -> Result<Option<Vec<LinkId>>, RoutingError>
+    where
+        F: FnMut(NodeId, &[Hop]) -> usize,
+    {
         if src_nic == dst_nic {
-            return Some(Vec::new());
+            return Ok(Some(Vec::new()));
         }
         let field = self.dist_field(topo, dst_nic);
         let mut cur = src_nic;
@@ -153,7 +189,7 @@ impl Router {
         while cur != dst_nic {
             let hops = next_hops_in(topo, &field, cur, phase, dst_nic);
             if hops.is_empty() {
-                return None;
+                return Ok(None);
             }
             let idx = choose(cur, &hops);
             debug_assert!(idx < hops.len(), "chooser returned out-of-range index");
@@ -161,9 +197,11 @@ impl Router {
             path.push(hop.link);
             cur = topo.link(hop.link).dst;
             phase = hop.phase;
-            assert!(path.len() <= MAX_HOPS, "routing loop: path exceeded {MAX_HOPS} hops");
+            if path.len() > MAX_HOPS {
+                return Err(RoutingError::HopLimitExceeded { limit: MAX_HOPS });
+            }
         }
-        Some(path)
+        Ok(Some(path))
     }
 
     /// Shortest valley-free hop count from `src_nic` to `dst_nic`.
@@ -201,16 +239,7 @@ fn count_paths(
     }
     let total = next_hops_in(topo, field, cur, phase, dst)
         .into_iter()
-        .map(|hop| {
-            count_paths(
-                topo,
-                field,
-                topo.link(hop.link).dst,
-                hop.phase,
-                dst,
-                memo,
-            )
-        })
+        .map(|hop| count_paths(topo, field, topo.link(hop.link).dst, hop.phase, dst, memo))
         .sum();
     memo.insert((cur, phase), total);
     total
@@ -234,8 +263,7 @@ fn next_hops_in(
             };
             for &l in topo.out_links(cur) {
                 let next = topo.link(l).dst;
-                if is_down_move(topo, cur, next)
-                    && field.down(next).map_or(false, |d| d + 1 == cur_d)
+                if is_down_move(topo, cur, next) && field.down(next).is_some_and(|d| d + 1 == cur_d)
                 {
                     hops.push(Hop {
                         link: l,
@@ -251,14 +279,14 @@ fn next_hops_in(
             for &l in topo.out_links(cur) {
                 let next = topo.link(l).dst;
                 if is_down_move(topo, cur, next) {
-                    if field.down(next).map_or(false, |d| d + 1 == cur_u) {
+                    if field.down(next).is_some_and(|d| d + 1 == cur_u) {
                         hops.push(Hop {
                             link: l,
                             phase: Phase::Down,
                         });
                     }
                 } else if is_up_move(topo, cur, next)
-                    && field.up(next).map_or(false, |d| d + 1 == cur_u)
+                    && field.up(next).is_some_and(|d| d + 1 == cur_u)
                 {
                     hops.push(Hop {
                         link: l,
@@ -393,8 +421,7 @@ mod tests {
     fn cross_pod_goes_through_core() {
         let (t, r) = fixture();
         let p = AstralParams::sim_small();
-        let gpus_per_pod =
-            p.hosts_per_block as u32 * p.rails as u32 * p.blocks_per_pod as u32;
+        let gpus_per_pod = p.hosts_per_block as u32 * p.rails as u32 * p.blocks_per_pod as u32;
         let (a, b) = (t.gpu_nic(GpuId(0)), t.gpu_nic(GpuId(gpus_per_pod)));
         assert_eq!(r.distance(&t, a, b), Some(6));
     }

@@ -158,8 +158,7 @@ mod tests {
         let t = build_astral(&p);
         let plan = CablePlan::from_topology(&t);
         // hosts × rails × ports cables.
-        let expected =
-            t.hosts().len() * p.rails as usize * p.tors_per_rail as usize;
+        let expected = t.hosts().len() * p.rails as usize * p.tors_per_rail as usize;
         assert_eq!(plan.cables.len(), expected);
         // Every cable's rail matches its ToR's rail (same-rail wiring).
         for c in &plan.cables {
@@ -187,7 +186,7 @@ mod tests {
         // Each swap flips two ports; swaps can collide/undo, so the count is
         // even and at most 2 × n_swaps.
         assert!(!mistakes.is_empty());
-        assert!(mistakes.len() % 2 == 0);
+        assert!(mistakes.len().is_multiple_of(2));
         assert!(mistakes.len() <= 10);
         // Every reported mistake is a real difference.
         for m in &mistakes {

@@ -1,8 +1,8 @@
 //! Property-based tests over the topology builders and router.
 
 use astral_topo::{
-    build_astral, build_clos, build_rail_optimized, AstralParams, BaselineParams, GpuId,
-    NodeKind, Phase, Router,
+    build_astral, build_clos, build_rail_optimized, AstralParams, BaselineParams, GpuId, NodeKind,
+    Phase, Router,
 };
 use proptest::prelude::*;
 

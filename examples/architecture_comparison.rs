@@ -16,8 +16,8 @@
 
 use astral::collectives::{CollectiveRunner, RunnerConfig};
 use astral::topo::{
-    build_astral, build_clos, build_rail_only, build_rail_optimized, AstralParams,
-    BaselineParams, GpuId, Topology,
+    build_astral, build_clos, build_rail_only, build_rail_optimized, AstralParams, BaselineParams,
+    GpuId, Topology,
 };
 
 /// All-to-all over a group spanning hosts *and* rails (EP-style traffic).
@@ -25,11 +25,7 @@ fn a2a_time(topo: &Topology, gpus: u32, bytes: u64) -> (f64, u64, u64) {
     let mut runner = CollectiveRunner::new(topo, RunnerConfig::default());
     let group: Vec<GpuId> = (0..gpus).map(GpuId).collect();
     let r = runner.all_to_all(&group, bytes);
-    (
-        r.duration.as_secs_f64(),
-        r.network_bytes,
-        r.nvlink_bytes,
-    )
+    (r.duration.as_secs_f64(), r.network_bytes, r.nvlink_bytes)
 }
 
 fn main() {

@@ -37,7 +37,11 @@ fn main() {
     println!("single-DC baseline iteration: {base:.3} s\n");
 
     println!("--- which traffic should cross? (oversubscription 8:1) ---");
-    for (label, group) in [("TP", GroupKind::Tp), ("PP", GroupKind::Pp), ("DP", GroupKind::Dp)] {
+    for (label, group) in [
+        ("TP", GroupKind::Tp),
+        ("PP", GroupKind::Pp),
+        ("DP", GroupKind::Dp),
+    ] {
         let net = NetworkSpec::astral().with_crossdc(group, 8.0, 300.0);
         let t = forecast(&model, &par, net);
         println!(

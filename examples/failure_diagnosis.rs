@@ -44,8 +44,15 @@ fn main() {
     let mut rates: Vec<_> = snap.qp_rate_frac.iter().collect();
     rates.sort_by_key(|&(qp, _)| *qp);
     for (qp, frac) in rates.iter().take(8) {
-        println!("  {qp}: {:5.1}%{}", **frac * 100.0,
-            if **frac < 0.5 { "   <-- below 50% threshold" } else { "" });
+        println!(
+            "  {qp}: {:5.1}%{}",
+            **frac * 100.0,
+            if **frac < 0.5 {
+                "   <-- below 50% threshold"
+            } else {
+                ""
+            }
+        );
     }
 
     println!("\n--- (c/d) PFC pause counters (top links) ---");

@@ -19,9 +19,14 @@ fn main() {
     println!("  GPUs per block : {:>8}", paper.gpus_per_block);
     println!("  GPUs per Pod   : {:>8}", paper.gpus_per_pod);
     println!("  GPUs total     : {:>8}", paper.gpus_total);
-    println!("  same-rail GPUs : {:>8} per Pod", paper.same_rail_gpus_per_pod);
-    println!("  ToR/Agg/Core capacity: {:.1}T each (identical tiers)\n",
-        paper.tor_capacity_gbps / 1000.0);
+    println!(
+        "  same-rail GPUs : {:>8} per Pod",
+        paper.same_rail_gpus_per_pod
+    );
+    println!(
+        "  ToR/Agg/Core capacity: {:.1}T each (identical tiers)\n",
+        paper.tor_capacity_gbps / 1000.0
+    );
 
     // 2. Deploy a simulation-scale instance.
     let infra = AstralInfrastructure::deploy(AstralParams::sim_medium());
