@@ -131,6 +131,90 @@ fn flow_sim(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-event recompute cost of the fair-share core: a steady pool of flows
+/// with one flow finishing and one arriving — the dominant op in every
+/// collective — in incremental vs full-rebuild mode.
+fn solver_recompute(c: &mut Criterion) {
+    use astral_net::{FlowSpec, NetConfig, NetworkSim, QpContext};
+    use astral_sim::SimDuration;
+    use astral_topo::{build_astral, AstralParams, GpuId};
+    let topo = build_astral(&AstralParams::sim_small());
+    let mut g = c.benchmark_group("solver");
+    for (label, incremental) in [("full_rebuild", false), ("incremental", true)] {
+        g.bench_function(&format!("churn_1_of_128_flows/{label}"), |b| {
+            let cfg = NetConfig {
+                incremental_solver: incremental,
+                ..NetConfig::default()
+            };
+            let mut sim = NetworkSim::new(&topo, cfg);
+            let n = 128u32;
+            let qps: Vec<_> = (0..n)
+                .map(|i| {
+                    sim.register_qp(
+                        topo.gpu_nic(GpuId(i)),
+                        topo.gpu_nic(GpuId((i + n) % (2 * n))),
+                        49_152 + i as u16,
+                        QpContext::anonymous(),
+                    )
+                })
+                .collect();
+            // A long-lived background pool that stays active throughout.
+            for &qp in &qps[1..] {
+                sim.inject(FlowSpec {
+                    qp,
+                    bytes: u64::MAX / 4,
+                    weight: 1.0,
+                })
+                .expect("routable");
+            }
+            let slice = SimDuration::from_secs_f64(1e-3);
+            b.iter(|| {
+                let id = sim
+                    .inject(FlowSpec {
+                        qp: qps[0],
+                        bytes: 4 << 10,
+                        weight: 1.0,
+                    })
+                    .expect("routable");
+                while sim.stats(id).fct().is_none() {
+                    let t = sim.now();
+                    sim.run_until(t + slice);
+                }
+                black_box(sim.solver_counters().events)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end 256-GPU cluster-wide all-to-all — the scenario the ≥3×
+/// speedup acceptance target is measured on (see perf_solver_alltoall).
+fn solver_alltoall_e2e(c: &mut Criterion) {
+    use astral_collectives::{CollectiveRunner, RunnerConfig};
+    use astral_net::NetConfig;
+    use astral_topo::{build_astral, AstralParams, GpuId};
+    let topo = build_astral(&AstralParams::sim_small());
+    let group: Vec<GpuId> = (0..topo.gpu_count() as u32).map(GpuId).collect();
+    let mut g = c.benchmark_group("solver_e2e");
+    g.sample_size(10);
+    for (label, incremental) in [("full_rebuild", false), ("incremental", true)] {
+        g.bench_function(&format!("alltoall_256_ranks_4MiB/{label}"), |b| {
+            let cfg = RunnerConfig {
+                net: NetConfig {
+                    incremental_solver: incremental,
+                    ..NetConfig::default()
+                },
+                ..RunnerConfig::default()
+            };
+            b.iter(|| {
+                let mut runner = CollectiveRunner::new(&topo, cfg);
+                black_box(runner.all_to_all(&group, 4 << 20).duration)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     event_queue,
@@ -139,6 +223,8 @@ criterion_group!(
     collective_expansion,
     seer_forecast,
     analyzer,
-    flow_sim
+    flow_sim,
+    solver_recompute,
+    solver_alltoall_e2e
 );
 criterion_main!(benches);

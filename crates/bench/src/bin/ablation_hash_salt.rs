@@ -2,7 +2,7 @@
 //! per-switch salted hashing, measured as persistent-collision pressure on
 //! the same traffic pattern, plus the controller's ability to repair each.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_net::{
     EcmpController, EcmpHasher, FlowSpec, NetConfig, NetworkSim, PlannedFlow, QpContext, SaltMode,
 };
@@ -40,7 +40,8 @@ fn run_round(
 }
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "ablation_hash_salt",
         "Ablation: ECMP hash diversification",
         "uniform fleet hashes collide persistently; per-switch salts spread \
          better; the controller repairs either via source ports",
@@ -104,7 +105,11 @@ fn main() {
         results.push((label, ecn0, ecn1));
     }
 
-    footer(&[
+    sc.metric("uniform_ecn_before", results[0].1);
+    sc.metric("uniform_ecn_after", results[0].2);
+    sc.metric("salted_ecn_before", results[1].1);
+    sc.metric("salted_ecn_after", results[1].2);
+    sc.finish(&[
         (
             "persistent collisions",
             format!(

@@ -3,7 +3,7 @@
 //! no cross-rail fabric at all (rail-only), on the two traffic patterns the
 //! paper argues about: same-rail collectives and MoE-style all-to-all.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_collectives::{merge_parallel, ring_all_reduce, CollectiveRunner, RunnerConfig};
 use astral_topo::{
     build_astral, build_rail_only, build_rail_optimized, AstralParams, BaselineParams, GpuId,
@@ -36,7 +36,8 @@ fn mixed_alltoall_ms(topo: &Topology, gpus: u32, bytes: u64) -> (f64, u64) {
 }
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "ablation_rail_design",
         "Ablation: tier-2 design (P1) — same-rail vs full interconnect vs rail-only",
         "same-rail aggregation maximizes rail scale; rail-only forces \
          cross-rail traffic through NVLink; full interconnect splits rail \
@@ -71,7 +72,15 @@ fn main() {
         rows.push((name, ar, a2a, nv));
     }
 
-    footer(&[
+    let fabric_rows: Vec<(String, f64, f64, u64)> = rows
+        .iter()
+        .map(|&(n, ar, a2a, nv)| (n.to_string(), ar, a2a, nv))
+        .collect();
+    sc.series("fabric_ar_ms_a2a_ms_nvlink_bytes", &fabric_rows);
+    sc.metric("astral_same_rail_ar_ms", rows[0].1);
+    sc.metric("rail_optimized_same_rail_ar_ms", rows[1].1);
+    sc.metric("rail_only_nvlink_bytes", rows[2].3);
+    sc.finish(&[
         (
             "same-rail collectives",
             format!(

@@ -7,13 +7,14 @@
 //! (subflows across all equal-cost paths) and count how many logical
 //! transfers a single link failure damages under each scheme.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_net::{FlowSpec, NetConfig, NetworkSim, QpContext};
 use astral_sim::SimTime;
 use astral_topo::{build_astral, AstralParams, GpuId};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "appa",
         "Appendix A: per-flow ECMP vs per-packet spraying — failure blast radius",
         "per-flow ECMP confines a link failure to the flows mapped onto it; \
          spraying exposes every flow to every link",
@@ -68,10 +69,14 @@ fn main() {
             "{:<24} {:>2}/{} logical transfers damaged by one link failure",
             label, damaged, transfers
         );
+        sc.solver(&sim.solver_counters());
         results.push((label, damaged));
     }
 
-    footer(&[
+    sc.metric("transfers", transfers as u64);
+    sc.metric("per_flow_damaged", results[0].1 as u64);
+    sc.metric("sprayed_damaged", results[1].1 as u64);
+    sc.finish(&[
         (
             "blast radius",
             format!(

@@ -4,11 +4,12 @@
 //! for a 100K-GPU cluster, ~0.00005% of link bandwidth; INT pings store
 //! ~173 GB/day in a 10K-GPU cluster, retained 15 days.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_monitor::overhead::OverheadModel;
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "appc",
         "Appendix C: monitoring overheads",
         "0.8 Mbps/node mirroring; ~10 Gbps at 100K GPUs (negligible); INT \
          storage ~173 GB/day at 10K GPUs, 15-day retention",
@@ -38,7 +39,24 @@ fn main() {
         m.int_storage_retained_bytes(10_000) / 1e12
     );
 
-    footer(&[
+    let rows: Vec<(u64, f64, f64)> = [1_000u64, 10_000, 100_000, 500_000]
+        .iter()
+        .map(|&g| {
+            (
+                g,
+                m.mirror_total_bps(g) / 1e9,
+                m.int_storage_per_day_bytes(g) / 1e9,
+            )
+        })
+        .collect();
+    sc.series("gpus_mirror_gbps_int_gb_per_day", &rows);
+    sc.metric("mirror_mbps_per_node", m.mirror_bps_per_node() / 1e6);
+    sc.metric("mirror_gbps_100k", m.mirror_total_bps(100_000) / 1e9);
+    sc.metric(
+        "int_gb_per_day_10k",
+        m.int_storage_per_day_bytes(10_000) / 1e9,
+    );
+    sc.finish(&[
         (
             "per-node mirroring",
             format!(

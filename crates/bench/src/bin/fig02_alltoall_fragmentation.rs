@@ -9,19 +9,21 @@
 //! (one pod) vs fragmented (two pods), on Astral and on the oversubscribed
 //! baselines, plus the induced training impact via the exposed-comm share.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_collectives::{CollectiveRunner, RunnerConfig};
 use astral_core::{place_job, PlacementPolicy};
+use astral_net::SolverCounters;
 use astral_topo::{build_astral, build_clos, AstralParams, BaselineParams, GpuId, Topology};
 
-fn a2a_gbps(topo: &Topology, placement: &[GpuId], bytes: u64) -> f64 {
+fn a2a_gbps(topo: &Topology, placement: &[GpuId], bytes: u64) -> (f64, SolverCounters) {
     let mut runner = CollectiveRunner::new(topo, RunnerConfig::default());
     let r = runner.all_to_all(placement, bytes);
-    r.algbw_bps(bytes) / 1e9
+    (r.algbw_bps(bytes) / 1e9, r.solver)
 }
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig02",
         "Figure 2: all-to-all throughput",
         "fragmented (32-pod) deployment loses 19-37%; tier-3 oversubscription \
          costs up to 52% a2a and ~3% training",
@@ -39,8 +41,10 @@ fn main() {
         gpus,
         PlacementPolicy::FragmentedAcrossPods { pods: 2 },
     );
-    let t_dense = a2a_gbps(&astral, &dense, bytes);
-    let t_frag = a2a_gbps(&astral, &frag, bytes);
+    let (t_dense, c_dense) = a2a_gbps(&astral, &dense, bytes);
+    let (t_frag, c_frag) = a2a_gbps(&astral, &frag, bytes);
+    sc.solver(&c_dense);
+    sc.solver(&c_frag);
     let frag_loss = (1.0 - t_frag / t_dense) * 100.0;
 
     println!("{:<34}{:>14}{:>12}", "deployment", "a2a algbw", "vs dense");
@@ -71,7 +75,8 @@ fn main() {
             full_gpus,
             PlacementPolicy::FragmentedAcrossPods { pods: 2 },
         );
-        let t = a2a_gbps(&clos, &all, full_bytes);
+        let (t, c) = a2a_gbps(&clos, &all, full_bytes);
+        sc.solver(&c);
         oversub_rows.push((ratio, t));
     }
     let flat = oversub_rows[0].1;
@@ -91,7 +96,13 @@ fn main() {
     let comm_share = 0.15 * 0.45; // exposed fraction × comm share of iter
     let training_impact = a2a_oversub_loss * comm_share;
 
-    footer(&[
+    sc.series("oversub_ratio_vs_a2a_gbps", &oversub_rows);
+    sc.metric("dense_a2a_gbps", t_dense);
+    sc.metric("fragmented_a2a_gbps", t_frag);
+    sc.metric("fragmented_loss_pct", frag_loss);
+    sc.metric("oversub_8to1_loss_pct", a2a_oversub_loss);
+    sc.metric("training_impact_pct", training_impact);
+    sc.finish(&[
         (
             "fragmented a2a loss",
             format!("paper 19–37% | measured {frag_loss:.1}% (2-pod split at sim scale)"),

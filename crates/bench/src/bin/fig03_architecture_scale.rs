@@ -4,11 +4,12 @@
 //! Paper: 1024-GPU blocks, ~64K-GPU Pods, ~512K-GPU cluster, 51.2T switches
 //! at every tier, 64-port Agg groups, dual-ToR NICs, 8K same-rail GPUs.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig03",
         "Figure 3: Astral network architecture scale",
         "block 1024 GPUs; Pod ~64K; cluster ~512K; identical 51.2T at all \
          tiers; 8K GPUs per rail per Pod",
@@ -66,7 +67,12 @@ fn main() {
     assert!((t01 - t12).abs() / t01 < 1e-9 && (t12 - t23).abs() / t12 < 1e-9);
     topo.validate().expect("built fabric is structurally valid");
 
-    footer(&[
+    sc.metric("gpus_per_block", s.gpus_per_block);
+    sc.metric("gpus_per_pod", s.gpus_per_pod);
+    sc.metric("gpus_total", s.gpus_total);
+    sc.metric("same_rail_gpus_per_pod", s.same_rail_gpus_per_pod);
+    sc.series("tier_bandwidth_tbps", &[t01 / 1e12, t12 / 1e12, t23 / 1e12]);
+    sc.finish(&[
         (
             "block size",
             format!("paper 1024 | derived {}", s.gpus_per_block),

@@ -4,11 +4,12 @@
 //! elastically draw up to +30% above its TDP; the battery on the DC bus
 //! compensates the 20–30% load fluctuation that upsets UPS systems.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_power::{HvdcUnit, PowerChain, RackPower};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig04",
         "Figure 4: distributed HVDC power system",
         "row budget = total TDP; per-rack elastic +30%; battery compensates \
          20-30% training fluctuation; fewer conversions than AC/UPS",
@@ -74,7 +75,16 @@ fn main() {
         after * 100.0
     );
 
-    footer(&[
+    sc.metric("ac_chain_efficiency", ac.efficiency());
+    sc.metric("hvdc_chain_efficiency", dc.efficiency());
+    sc.metric("burst_rack_kw", alloc[2] / 1e3);
+    sc.metric("fluctuation_before_pct", before * 100.0);
+    sc.metric("fluctuation_after_pct", after * 100.0);
+    sc.series(
+        "rack_allocation_kw",
+        &alloc.iter().map(|a| a / 1e3).collect::<Vec<f64>>(),
+    );
+    sc.finish(&[
         (
             "conversion efficiency",
             format!(

@@ -3,11 +3,12 @@
 //! Paper: side intake leaves inter-rack variation reaching 1 °C; the
 //! bottom-up optimization brings it to 0.11 °C across all racks.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_cooling::{paper_row, Airflow};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig05",
         "Figure 5: rack temperature distribution vs airflow",
         "side intake → ~1 °C inter-rack variation; bottom-up → 0.11 °C",
     );
@@ -32,7 +33,11 @@ fn main() {
         row.mean_temperature(Airflow::BottomUp)
     );
 
-    footer(&[
+    sc.series("side_intake_temps_c", &side);
+    sc.series("bottom_up_temps_c", &bottom);
+    sc.metric("side_spread_c", spread_side);
+    sc.metric("bottom_up_spread_c", spread_bottom);
+    sc.finish(&[
         (
             "side-intake variation",
             format!("paper ~1 °C | measured {spread_side:.2} °C"),

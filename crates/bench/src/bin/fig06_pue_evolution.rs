@@ -3,11 +3,12 @@
 //! Paper: with the new cooling systems and power management, the average
 //! PUE of the Astral infrastructure is reduced by up to 16.34%.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_cooling::{mean_pue_improvement, pue_evolution, FacilityConfig};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig06",
         "Figure 6: PUE evolution in production",
         "average PUE improved by 16.34% vs the traditional facility",
     );
@@ -32,7 +33,10 @@ fn main() {
         / FacilityConfig::traditional().pue()
         * 100.0;
 
-    footer(&[
+    sc.series("month_astral_traditional_pue", &evo);
+    sc.metric("mean_improvement_pct", mean);
+    sc.metric("steady_state_improvement_pct", steady);
+    sc.finish(&[
         (
             "mean improvement over rollout",
             format!("paper 16.34% average | measured {mean:.2}%"),

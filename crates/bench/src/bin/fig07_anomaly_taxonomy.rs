@@ -5,7 +5,7 @@
 //! root causes led by host env & config (32%), NIC errors (15%), user code
 //! (14%), switch config (14%), …
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_monitor::{
     manifestation_distribution, root_cause_distribution, run_fault_scenario, Analyzer, CauseClass,
     Culprit, Fault, RootCause, ScenarioConfig, TruthCulprit,
@@ -48,7 +48,8 @@ fn fault_for(cause: RootCause, rng: &mut SimRng) -> Fault {
 }
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig07",
         "Figure 7: anomaly taxonomy and localization",
         "fail-stop 66% / hang 17% / slow 13% / on-start 4%; host env 32%, \
          NIC 15%, user code 14%, switch conf 14%, ...",
@@ -131,7 +132,21 @@ fn main() {
         class_correct as f64 / trials as f64 * 100.0
     );
 
-    footer(&[
+    let manifest_rows: Vec<(String, f64)> = by_manifestation
+        .iter()
+        .map(|(m, &c)| (m.clone(), c as f64 / trials as f64 * 100.0))
+        .collect();
+    sc.series("observed_manifestation_pct", &manifest_rows);
+    sc.metric("trials", trials as u64);
+    sc.metric(
+        "localization_rate_pct",
+        localized as f64 / trials as f64 * 100.0,
+    );
+    sc.metric(
+        "cause_class_accuracy_pct",
+        class_correct as f64 / trials as f64 * 100.0,
+    );
+    sc.finish(&[
         (
             "taxonomy",
             "paper distributions encoded exactly; campaign samples them".to_string(),

@@ -6,12 +6,13 @@
 //! (d) PFC pause counters exceed the normal range — root cause: persistent
 //! downstream congestion.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_monitor::{run_fault_scenario, Analyzer, Fault, IntProber, ScenarioConfig};
 use astral_topo::{build_astral, AstralParams, HostId};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig09",
         "Figure 9: hierarchical anomaly localization (fail-slow case)",
         "NCCL timeline → QP <50% rate → INT hop delays (0.6/179/266 µs) → \
          PFC counters → root cause at the congested drain",
@@ -110,7 +111,17 @@ fn main() {
         .iter()
         .map(|h| h.delay.as_nanos() as f64 / 1e3)
         .fold(f64::INFINITY, f64::min);
-    footer(&[
+    let hop_delays_us: Vec<f64> = probe
+        .hops
+        .iter()
+        .map(|h| h.delay.as_nanos() as f64 / 1e3)
+        .collect();
+    sc.series("int_hop_delays_us", &hop_delays_us);
+    sc.metric("slowest_qp_rate_pct", *rates[0].1 * 100.0);
+    sc.metric("min_hop_us", min_hop_us);
+    sc.metric("max_hop_us", max_hop_us);
+    sc.metric("verdict", format!("{:?}", d.culprit));
+    sc.finish(&[
         (
             "QP rate evidence",
             format!(

@@ -7,7 +7,7 @@
 //! paper's shape: recovery keeps the effective-training-time ratio high,
 //! and over-frequent checkpointing trades goodput for smaller rollbacks.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_core::{run_training, FaultScript, InjectedFault, RecoveryPolicy, TrainingJobSpec};
 use astral_sim::SimDuration;
 use astral_topo::{build_astral, AstralParams};
@@ -32,7 +32,8 @@ fn script() -> FaultScript {
 }
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig10_goodput",
         "Figure 10: goodput under the failure-lifecycle recovery engine",
         "detect → localize → mitigate → resume across three fault classes; \
          checkpoint-interval sweep vs recovery disabled",
@@ -49,12 +50,15 @@ fn main() {
         "{:>10} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10}",
         "ckpt-iters", "done", "goodput", "useful_s", "lost_s", "down_s", "mttr_s", "incidents"
     );
+    let mut sweep: Vec<(f64, f64)> = Vec::new();
     for interval in [1u32, 2, 5, 10, 20] {
         let policy = RecoveryPolicy {
             checkpoint_interval: interval,
             ..RecoveryPolicy::default()
         };
         let r = run_training(&topo, &policy, &spec, &script());
+        sweep.push((interval as f64, r.goodput()));
+        sc.solver(&r.solver);
         println!(
             "{:>10} {:>9} {:>9.3} {:>10.2} {:>10.2} {:>9.2} {:>9.3} {:>10}",
             interval,
@@ -81,8 +85,12 @@ fn main() {
         r.mttr_s().unwrap_or(0.0),
         r.incidents.len(),
     );
+    sc.solver(&r.solver);
 
-    footer(&[
+    sc.series("ckpt_interval_vs_goodput", &sweep);
+    sc.metric("disabled_goodput", r.goodput());
+    sc.metric("disabled_completed", r.completed);
+    sc.finish(&[
         (
             "recovery on",
             "all three Figure-7 fault classes mitigated; goodput stays high".into(),

@@ -4,7 +4,7 @@
 //! Paper: MTTLF for fail-stop and fail-hang reduced to minutes — up to 12×
 //! and 25× — and fail-slow location shortened by nearly 5×.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_monitor::mttlf::{
     analyzer_locate_time_s, manual_locate_time_s, AnalyzerCostModel, ManualCostModel,
 };
@@ -12,7 +12,8 @@ use astral_monitor::{run_fault_scenario, Analyzer, Fault, Manifestation, Scenari
 use astral_topo::{build_astral, AstralParams, HostId};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig10_mttlf",
         "Figure 10: MTTLF before/after the monitoring system",
         "fail-stop ×12, fail-hang ×25, fail-slow ×5 reductions; minutes \
          instead of hours/days",
@@ -69,7 +70,12 @@ fn main() {
         results.push((label, speedup));
     }
 
-    footer(&[
+    let speedups: Vec<(String, f64)> = results.iter().map(|&(l, s)| (l.to_string(), s)).collect();
+    sc.series("mttlf_speedup_by_class", &speedups);
+    sc.metric("fail_stop_speedup", results[0].1);
+    sc.metric("fail_hang_speedup", results[1].1);
+    sc.metric("fail_slow_speedup", results[2].1);
+    sc.finish(&[
         (
             "fail-stop reduction",
             format!("paper up to 12x | measured {:.0}x", results[0].1),

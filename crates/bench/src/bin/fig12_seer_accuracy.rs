@@ -4,7 +4,7 @@
 //! accuracy holds across dense models (LLaMA 2/3); MoE models (DeepSeek R1)
 //! deviate more due to unpredictable expert selection.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
 use astral_seer::{Calibration, GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
@@ -17,7 +17,8 @@ fn scaled(mut m: ModelConfig, layers: u32) -> ModelConfig {
 }
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig12",
         "Figure 12: Seer foresight vs testbed timeline",
         "0.3% deviation on Hunyuan; acceptable across dense models; MoE \
          (DeepSeek-R1-like) deviates more",
@@ -137,7 +138,13 @@ fn main() {
         );
     }
 
-    footer(&[
+    let dev_rows: Vec<(String, f64)> = rows.iter().map(|&(l, d)| (l.to_string(), d)).collect();
+    sc.series("calibrated_deviation_pct_by_model", &dev_rows);
+    sc.metric("llama2_deviation_pct", rows[1].1);
+    sc.metric("llama3_deviation_pct", rows[2].1);
+    sc.metric("hunyuan_deviation_pct", rows[0].1);
+    sc.metric("deepseek_deviation_pct", rows[3].1);
+    sc.finish(&[
         (
             "dense deviation",
             format!(

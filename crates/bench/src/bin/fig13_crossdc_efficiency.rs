@@ -5,13 +5,14 @@
 //! efficiency "does not drop significantly until the bandwidth
 //! oversubscription ratio reaches 16:1".
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{DpSync, GroupKind, ModelConfig, ParallelismConfig};
 use astral_seer::{GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig13",
         "Figure 13: cross-DC training efficiency (1K GPUs)",
         "DP can beat PP cross-DC; ZeRO-DP is worst; efficiency holds until \
          ~16:1 oversubscription",
@@ -79,7 +80,16 @@ fn main() {
     let dp16 = table[2].1[2];
     let pp16 = table[1].1[2];
     let zero16 = table[3].1[2];
-    footer(&[
+    let eff_rows: Vec<(String, Vec<f64>)> = table
+        .iter()
+        .map(|(l, e)| (l.to_string(), e.clone()))
+        .collect();
+    sc.series("efficiency_pct_by_class_4_8_16_32", &eff_rows);
+    sc.metric("single_dc_iteration_s", base);
+    sc.metric("dp_16to1_pct", dp16);
+    sc.metric("pp_16to1_pct", pp16);
+    sc.metric("zero_16to1_pct", zero16);
+    sc.finish(&[
         (
             "DP vs PP",
             format!(

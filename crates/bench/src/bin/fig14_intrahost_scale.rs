@@ -5,13 +5,14 @@
 //! (all-to-all rides NVLink), and helps MoE inference in both prefill and
 //! decoding.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{InferencePhase, ModelConfig, ParallelismConfig};
 use astral_seer::{GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig14",
         "Figure 14: impact of intra-host network scale",
         "MoE training benefits more than GPT-3 from a bigger HB domain; MoE \
          inference gains in both prefill and decoding",
@@ -94,7 +95,12 @@ fn main() {
         inf_gains.push((label, row[3]));
     }
 
-    footer(&[
+    sc.metric("gpt3_hb64_gain", gains[0].1);
+    sc.metric("moe_hb64_gain", gains[1].1);
+    sc.metric("prefill_hb64_gain", inf_gains[0].1);
+    sc.metric("decode_hb64_gain", inf_gains[1].1);
+    sc.series("hb_domains", &[8u64, 16, 32, 64]);
+    sc.finish(&[
         (
             "MoE vs dense sensitivity",
             format!(

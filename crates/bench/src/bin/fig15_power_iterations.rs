@@ -4,14 +4,15 @@
 //! compute and drops in communication phases; inference peaks during
 //! prefill and falls well below TDP during decoding.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{InferencePhase, ModelConfig, ParallelismConfig};
 use astral_power::{peak_over_tdp, power_trace, PowerIntensity};
 use astral_seer::{GpuSpec, Seer, SeerConfig};
 use astral_sim::SimDuration;
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig15",
         "Figure 15: GPU power usage over iterations",
         "training peaks ≈TDP in fwd/bwd, dips during comm; inference peaks \
          in prefill, stays low in decoding",
@@ -98,7 +99,11 @@ fn main() {
         decode_mean / gpu.tdp_w * 100.0
     );
 
-    footer(&[
+    sc.metric("training_peak_x_tdp", peak);
+    sc.metric("training_floor_pct_tdp", min_w / gpu.tdp_w * 100.0);
+    sc.metric("prefill_peak_x_tdp", prefill_peak);
+    sc.metric("decode_mean_pct_tdp", decode_mean / gpu.tdp_w * 100.0);
+    sc.finish(&[
         (
             "training peak",
             format!("paper: reaches/exceeds TDP | measured {:.2}×TDP", peak),

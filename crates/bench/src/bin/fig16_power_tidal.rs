@@ -5,11 +5,12 @@
 //! 10 p.m. and 8 a.m.; training is scheduled into the trough (cheap night
 //! rentals) to keep total draw constant.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_power::DailyLoadModel;
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig16",
         "Figure 16: daily GPU power (tidal pattern)",
         "inference tide: high day, low 10pm-8am; night-scheduled training \
          flattens total draw (constant-power contract)",
@@ -43,7 +44,15 @@ fn main() {
         flat.tidal_ratio()
     );
 
-    footer(&[
+    let profile: Vec<(u64, f64, f64, f64)> = flat
+        .day_profile()
+        .into_iter()
+        .map(|(h, i, t, tot)| (h as u64, i / 1e6, t / 1e6, tot / 1e6))
+        .collect();
+    sc.series("hour_inference_training_total_mw", &profile);
+    sc.metric("inference_only_tidal_ratio", tidal.tidal_ratio());
+    sc.metric("flattened_tidal_ratio", flat.tidal_ratio());
+    sc.finish(&[
         (
             "tidal pattern",
             format!(

@@ -5,12 +5,13 @@
 //! the controller reruns the production hash in a simulator and reassigns
 //! congested flows' source ports; counters drop and stabilize.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_net::{EcmpController, FlowSpec, NetConfig, NetworkSim, PlannedFlow, QpContext};
 use astral_topo::{build_astral, AstralParams, GpuId, LinkId};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig17",
         "Figure 17: ECN counters under sport reassignment",
         "ECN counters decrease and eventually stabilize after multiple \
          reassignment rounds",
@@ -59,7 +60,10 @@ fn main() {
         // Projected max link load from the controller's own hash simulator.
         let load = ctl.project_load(&topo, sim.router(), &sim.config().hasher, &flows);
         let max_load = load.values().copied().max().unwrap_or(0);
-        let moved = ctl.rebalance(&topo, sim.router(), &sim.config().hasher, &mut flows, &hot);
+        // The telemetry-driven entry point: pull hot links straight off the
+        // simulator's ECN counters and reassign around them.
+        let moved = ctl.rebalance_from_sim(&sim, &mut flows, 8);
+        sc.solver(&sim.solver_counters());
         println!(
             "{:<8}{:>16}{:>14}{:>11.1} Gb{:>12}",
             round,
@@ -74,7 +78,12 @@ fn main() {
     let first = series[0] as f64;
     let last = *series.last().unwrap() as f64;
     let stabilized = series.windows(2).rev().take(3).all(|w| w[1] <= w[0]);
-    footer(&[
+    sc.series("ecn_marks_by_round", &series);
+    sc.metric("first_round_ecn", series[0]);
+    sc.metric("last_round_ecn", *series.last().unwrap());
+    sc.metric("reduction_pct", (1.0 - last / first.max(1.0)) * 100.0);
+    sc.metric("monotone_tail", stabilized);
+    sc.finish(&[
         (
             "ECN trend",
             format!(

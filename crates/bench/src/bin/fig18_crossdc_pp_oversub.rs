@@ -5,13 +5,14 @@
 //! 32:1 causes 4.6% degradation. Long-haul fiber costs ≈70 $/km·month, so
 //! the knee placement is an economic decision.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{GroupKind, ModelConfig, ParallelismConfig};
 use astral_seer::{GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig18",
         "Figure 18: PP across datacenters vs oversubscription",
         "8:1 oversubscription is free; 32:1 costs ~4.6%",
     );
@@ -44,12 +45,14 @@ fn main() {
         "ratio", "iteration (s)", "degradation"
     );
     let mut degr_at = std::collections::HashMap::new();
+    let mut sweep: Vec<(f64, f64)> = Vec::new();
     for ratio in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let net = NetworkSpec::astral().with_crossdc(GroupKind::Pp, ratio, 300.0);
         let t = forecast(net);
         let d = (t / base - 1.0) * 100.0;
         println!("{:<10}{:>14.3}{:>13.2}%", format!("{ratio:.0}:1"), t, d);
         degr_at.insert(ratio as u64, d);
+        sweep.push((ratio, d));
     }
 
     // The economics the paper quotes.
@@ -61,7 +64,10 @@ fn main() {
         monthly * 12.0 / 1000.0
     );
 
-    footer(&[
+    sc.series("oversub_ratio_vs_degradation_pct", &sweep);
+    sc.metric("degradation_8to1_pct", degr_at[&8]);
+    sc.metric("degradation_32to1_pct", degr_at[&32]);
+    sc.finish(&[
         (
             "8:1 ratio",
             format!(

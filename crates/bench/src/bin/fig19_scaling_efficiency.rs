@@ -4,13 +4,14 @@
 //! Paper: Hunyuan-MoE training efficiency tracks GPU-scale expansion with
 //! only a 0.6% performance loss at 8K GPUs.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{ModelConfig, ParallelismConfig};
 use astral_seer::{GpuSpec, Seer, SeerConfig, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "fig19",
         "Figure 19: training performance at scale (weak scaling)",
         "efficiency improvement consistent with GPU-scale expansion; 0.6% \
          loss at 8K GPUs",
@@ -43,6 +44,7 @@ fn main() {
     );
     let mut base_per_gpu = 0.0;
     let mut last_eff = 0.0;
+    let mut sweep: Vec<(u64, f64)> = Vec::new();
     for (i, dp) in [4u32, 8, 16, 32, 64, 128, 256].into_iter().enumerate() {
         let mut par = ParallelismConfig::new(8, 4, dp);
         par.ep = 4.min(dp);
@@ -54,6 +56,7 @@ fn main() {
         }
         let eff = per_gpu / base_per_gpu * 100.0;
         last_eff = eff;
+        sweep.push((par.world() as u64, eff));
         println!(
             "{:<10}{:>10}{:>16.3}{:>18.0}{:>11.2}%",
             par.world(),
@@ -64,7 +67,9 @@ fn main() {
         );
     }
 
-    footer(&[
+    sc.series("gpus_vs_efficiency_pct", &sweep);
+    sc.metric("loss_at_max_scale_pct", 100.0 - last_eff);
+    sc.finish(&[
         (
             "scaling loss at max scale",
             format!(

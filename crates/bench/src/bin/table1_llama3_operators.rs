@@ -4,11 +4,12 @@
 //! Paper: 18 operator families across Input Embedding, Transformer Layer,
 //! and Output Layer, typed Mem. / Comp. / Comm. / Mem.+Comp.
 
-use astral_bench::{banner, footer};
+use astral_bench::Scenario;
 use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
 
 fn main() {
-    banner(
+    let mut sc = Scenario::new(
+        "table1",
         "Table 1: LLaMA-3 operators in Seer",
         "18 operator families (Input Embedding / Transformer Layer / Output \
          Layer) typed Mem./Comp./Comm.",
@@ -76,7 +77,10 @@ fn main() {
         inventory.len()
     );
 
-    footer(&[
+    sc.metric("forward_rows", total as u64);
+    sc.metric("missing_rows", missing as u64);
+    sc.metric("distinct_families_total", inventory.len() as u64);
+    sc.finish(&[
         (
             "operator families",
             format!("paper 17 forward rows | generated {total} rows, {missing} missing"),

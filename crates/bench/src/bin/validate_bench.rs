@@ -1,0 +1,116 @@
+//! Validate emitted `BENCH_<id>.json` reports against the report schema.
+//!
+//! Scans `$ASTRAL_BENCH_DIR` (default `.`) — or the directories given as
+//! arguments — for `BENCH_*.json`, parses each, and checks the required
+//! fields and their shapes. Exits non-zero if any report is malformed or
+//! none are found, so CI can gate on it.
+
+use astral_bench::Report;
+use serde::Value;
+
+fn field<'a>(pairs: &'a [(Value, Value)], name: &str) -> Option<&'a Value> {
+    pairs
+        .iter()
+        .find(|(k, _)| k.as_str() == Some(name))
+        .map(|(_, v)| v)
+}
+
+fn validate(text: &str) -> Result<String, String> {
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("parse error: {e}"))?;
+    let Value::Map(pairs) = &value else {
+        return Err("top level is not an object".into());
+    };
+    for name in Report::REQUIRED_FIELDS {
+        let Some(v) = field(pairs, name) else {
+            return Err(format!("missing required field `{name}`"));
+        };
+        let ok = match name {
+            "id" | "title" | "claim" => matches!(v, Value::Str(_)),
+            "wall_clock_secs" => matches!(v, Value::F64(_) | Value::U64(_) | Value::I64(_)),
+            "series" | "metrics" | "paper_vs_measured" | "solver" => matches!(v, Value::Map(_)),
+            _ => true,
+        };
+        if !ok {
+            return Err(format!("field `{name}` has the wrong shape"));
+        }
+    }
+    let Some(Value::Map(solver)) = field(pairs, "solver") else {
+        unreachable!("checked above");
+    };
+    for counter in [
+        "events",
+        "full_solves",
+        "incremental_solves",
+        "flows_resolved",
+    ] {
+        match field(solver, counter) {
+            Some(Value::U64(_)) => {}
+            Some(_) => return Err(format!("solver counter `{counter}` is not an integer")),
+            None => return Err(format!("solver counters missing `{counter}`")),
+        }
+    }
+    let id = field(pairs, "id")
+        .and_then(|v| v.as_str())
+        .unwrap_or("?")
+        .to_string();
+    Ok(id)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dirs: Vec<String> = if args.is_empty() {
+        vec![std::env::var("ASTRAL_BENCH_DIR").unwrap_or_else(|_| ".".into())]
+    } else {
+        args
+    };
+
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    for dir in &dirs {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot read {dir}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let mut names: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        names.sort();
+        for path in names {
+            checked += 1;
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("FAIL {}: {e}", path.display());
+                    failed += 1;
+                    continue;
+                }
+            };
+            match validate(&text) {
+                Ok(id) => println!("ok   {} (id={id})", path.display()),
+                Err(e) => {
+                    eprintln!("FAIL {}: {e}", path.display());
+                    failed += 1;
+                }
+            }
+        }
+    }
+
+    println!("\n{checked} report(s) checked, {failed} failure(s)");
+    if checked == 0 {
+        eprintln!("no BENCH_*.json reports found in {dirs:?}");
+        std::process::exit(2);
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

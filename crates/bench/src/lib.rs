@@ -1,8 +1,11 @@
 //! # astral-bench — the figure/table regeneration harness
 //!
-//! One binary per figure and table of the paper's evaluation; each prints
-//! the same rows/series the paper reports plus a `paper vs measured`
-//! footer. Run them all with:
+//! One binary per figure and table of the paper's evaluation. Each binary
+//! drives a [`Scenario`]: it prints the same human-readable tables and
+//! `paper vs measured` footer the harness always emitted, *and* writes a
+//! machine-readable `BENCH_<id>.json` report next to it — claim, measured
+//! series, scalar metrics, wall-clock, and the rate-solver work counters —
+//! so CI can diff reproduction quality run over run. Run them all with:
 //!
 //! ```sh
 //! for f in fig02 fig03 fig04 fig05 fig06 fig07 fig09 fig10 fig12 fig13 \
@@ -11,21 +14,224 @@
 //! done
 //! ```
 //!
-//! Criterion micro-benchmarks (event queue, routing, fairness, collective
-//! expansion, Seer forecast latency, analyzer) live in `benches/`.
+//! Reports land in `$ASTRAL_BENCH_DIR` (default: the working directory).
+//! `validate_bench` checks every emitted report for the required schema;
+//! `perf_solver_alltoall` records the incremental-vs-full solver speedup.
+//!
+//! Criterion micro-benchmarks (event queue, routing, fairness, the
+//! incremental solver, collective expansion, Seer forecast latency,
+//! analyzer) live in `benches/`.
 
-/// Print a header for a figure harness.
-pub fn banner(id: &str, claim: &str) {
-    println!("================================================================");
-    println!("{id}");
-    println!("paper claim: {claim}");
-    println!("================================================================\n");
+use astral_net::SolverCounters;
+use serde::{Serialize, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The machine-readable outcome of one bench scenario — everything the
+/// text output reports, as data.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Short stable id (`fig02`, `table1`, `ablation_hash_salt`, …); names
+    /// the output file `BENCH_<id>.json`.
+    pub id: String,
+    /// Human title as printed in the banner.
+    pub title: String,
+    /// The paper claim being reproduced.
+    pub claim: String,
+    /// Wall-clock of the whole scenario, seconds.
+    pub wall_clock_secs: f64,
+    /// Named measured series (sweep axes, per-point values).
+    pub series: Vec<(String, Value)>,
+    /// Named scalar results.
+    pub metrics: Vec<(String, Value)>,
+    /// The footer rows: claim vs what this run measured.
+    pub paper_vs_measured: Vec<(String, String)>,
+    /// Aggregate rate-solver work across every simulation the scenario ran.
+    pub solver: SolverCounters,
 }
 
-/// Print the paper-vs-measured footer.
-pub fn footer(rows: &[(&str, String)]) {
-    println!("\n--- paper vs reproduction ---");
-    for (k, v) in rows {
-        println!("  {k}: {v}");
+impl Report {
+    /// Field names every report must carry — shared with `validate_bench`.
+    pub const REQUIRED_FIELDS: [&'static str; 8] = [
+        "id",
+        "title",
+        "claim",
+        "wall_clock_secs",
+        "series",
+        "metrics",
+        "paper_vs_measured",
+        "solver",
+    ];
+
+    /// The report as a JSON value (string-keyed maps throughout).
+    pub fn to_value(&self) -> Value {
+        fn obj(pairs: Vec<(String, Value)>) -> Value {
+            Value::Map(pairs.into_iter().map(|(k, v)| (Value::Str(k), v)).collect())
+        }
+        obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("title".into(), Value::Str(self.title.clone())),
+            ("claim".into(), Value::Str(self.claim.clone())),
+            ("wall_clock_secs".into(), Value::F64(self.wall_clock_secs)),
+            ("series".into(), obj(self.series.clone())),
+            ("metrics".into(), obj(self.metrics.clone())),
+            (
+                "paper_vs_measured".into(),
+                obj(self
+                    .paper_vs_measured
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect()),
+            ),
+            ("solver".into(), self.solver.to_value()),
+        ])
+    }
+
+    /// Pretty-printed JSON.
+    pub fn json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("report serializes")
+    }
+
+    /// Destination path: `$ASTRAL_BENCH_DIR/BENCH_<id>.json` (dir defaults
+    /// to the working directory).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("ASTRAL_BENCH_DIR").unwrap_or_else(|| ".".into());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.id))
+    }
+
+    /// Write the report to [`Report::path`].
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, self.json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One figure/table reproduction in flight: prints the banner on creation,
+/// accumulates measured data, and on [`finish`](Scenario::finish) prints
+/// the classic footer and emits the JSON report.
+pub struct Scenario {
+    report: Report,
+    started: Instant,
+}
+
+impl Scenario {
+    /// Start a scenario: prints the banner (title + paper claim).
+    pub fn new(id: &str, title: &str, claim: &str) -> Self {
+        println!("================================================================");
+        println!("{title}");
+        println!("paper claim: {claim}");
+        println!("================================================================\n");
+        Scenario {
+            report: Report {
+                id: id.to_string(),
+                title: title.to_string(),
+                claim: claim.to_string(),
+                wall_clock_secs: 0.0,
+                series: Vec::new(),
+                metrics: Vec::new(),
+                paper_vs_measured: Vec::new(),
+                solver: SolverCounters::default(),
+            },
+            started: Instant::now(),
+        }
+    }
+
+    /// Record a named measured series (any serializable shape: a vector of
+    /// points, `(x, y)` tuples, nested rows…).
+    pub fn series<T: Serialize + ?Sized>(&mut self, name: &str, values: &T) {
+        self.report
+            .series
+            .push((name.to_string(), values.to_value()));
+    }
+
+    /// Record a named scalar result.
+    pub fn metric<T: Serialize>(&mut self, name: &str, value: T) {
+        self.report
+            .metrics
+            .push((name.to_string(), value.to_value()));
+    }
+
+    /// Fold in rate-solver counters from a simulation this scenario ran
+    /// (accumulates across calls — sweeps merge every run's work).
+    pub fn solver(&mut self, counters: &SolverCounters) {
+        self.report.solver.merge(counters);
+    }
+
+    /// Print the paper-vs-measured footer, stamp the wall clock, write
+    /// `BENCH_<id>.json`, and return the report (for tests / callers that
+    /// post-process).
+    pub fn finish(mut self, rows: &[(&str, String)]) -> Report {
+        println!("\n--- paper vs reproduction ---");
+        for (k, v) in rows {
+            println!("  {k}: {v}");
+            self.report
+                .paper_vs_measured
+                .push((k.to_string(), v.clone()));
+        }
+        self.report.wall_clock_secs = self.started.elapsed().as_secs_f64();
+        match self.report.write() {
+            Ok(path) => println!("\nreport: {}", path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write {}: {e}",
+                self.report.path().display()
+            ),
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_has_required_fields() {
+        let r = Report {
+            id: "test".into(),
+            title: "t".into(),
+            claim: "c".into(),
+            wall_clock_secs: 1.5,
+            series: vec![("xs".into(), vec![1.0f64, 2.0].to_value())],
+            metrics: vec![("m".into(), 3.0f64.to_value())],
+            paper_vs_measured: vec![("k".into(), "v".into())],
+            solver: SolverCounters::default(),
+        };
+        let v = r.to_value();
+        let Value::Map(pairs) = &v else {
+            panic!("report must be an object")
+        };
+        for field in Report::REQUIRED_FIELDS {
+            assert!(
+                pairs.iter().any(|(k, _)| k.as_str() == Some(field)),
+                "missing field {field}"
+            );
+        }
+        let json = r.json();
+        assert!(json.contains("\"wall_clock_secs\""));
+        assert!(json.contains("\"incremental_solves\""));
+    }
+
+    #[test]
+    fn report_round_trips_through_serde_json() {
+        let r = Report {
+            id: "rt".into(),
+            title: "t".into(),
+            claim: "c".into(),
+            wall_clock_secs: 0.25,
+            series: vec![("pts".into(), vec![(1.0f64, 2.0f64)].to_value())],
+            metrics: Vec::new(),
+            paper_vs_measured: Vec::new(),
+            solver: SolverCounters::default(),
+        };
+        let parsed: Value = serde_json::from_str(&r.json()).expect("parses");
+        let Value::Map(pairs) = parsed else {
+            panic!("object")
+        };
+        let id = pairs
+            .iter()
+            .find(|(k, _)| k.as_str() == Some("id"))
+            .map(|(_, v)| v.clone());
+        assert_eq!(id, Some(Value::Str("rt".into())));
     }
 }

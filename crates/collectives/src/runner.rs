@@ -18,7 +18,7 @@ use crate::plan::{
     pairwise_all_to_all, ring_all_gather, ring_all_reduce, ring_broadcast, ring_reduce_scatter,
     send_recv, Schedule, Transfer,
 };
-use astral_net::{FlowSpec, FlowState, NetConfig, NetworkSim, QpContext, QpId};
+use astral_net::{FlowSpec, FlowState, NetConfig, NetworkSim, QpContext, QpId, SolverCounters};
 use astral_sim::SimDuration;
 use astral_topo::{GpuId, NodeId, Topology};
 use std::collections::HashMap;
@@ -60,6 +60,9 @@ pub struct CollectiveResult {
     pub nvlink_bytes: u64,
     /// Number of flows that failed (path death).
     pub failed_flows: usize,
+    /// Rate-solver work attributable to this collective (counter delta
+    /// across the run; see [`SolverCounters`]).
+    pub solver: SolverCounters,
 }
 
 impl CollectiveResult {
@@ -203,6 +206,7 @@ impl<'a> CollectiveRunner<'a> {
         self.group_ctr += 1;
 
         let start = self.sim.now();
+        let solver_before = self.sim.solver_counters();
         let mut virtual_now = start;
         let mut step_durations = Vec::with_capacity(schedule.steps.len());
         let mut network_bytes = 0u64;
@@ -298,6 +302,7 @@ impl<'a> CollectiveRunner<'a> {
             network_bytes,
             nvlink_bytes,
             failed_flows: failed,
+            solver: self.sim.solver_counters().since(&solver_before),
         }
     }
 
@@ -412,6 +417,19 @@ mod tests {
         assert!(res.network_bytes > 0);
         assert!(res.duration > SimDuration::ZERO);
         assert_eq!(res.failed_flows, 0);
+        assert!(res.solver.events > 0, "network flows must hit the solver");
+        assert!(res.solver.flows_resolved > 0);
+    }
+
+    #[test]
+    fn nvlink_only_collective_does_no_solver_work() {
+        let t = topo();
+        let mut r = CollectiveRunner::new(&t, RunnerConfig::default());
+        let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let res = r.all_reduce(&group, 1 << 20);
+        assert_eq!(res.network_bytes, 0);
+        assert_eq!(res.solver.events, 0);
+        assert_eq!(res.solver.flows_resolved, 0);
     }
 
     #[test]

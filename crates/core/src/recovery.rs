@@ -29,7 +29,7 @@
 
 use astral_collectives::{CollectiveRunner, RunnerConfig};
 use astral_monitor::{OnlineAlarm, OnlineDetector, OnlineDetectorConfig, RootCause};
-use astral_net::{FlowEvent, QpId, QpRecord, EPHEMERAL_BASE};
+use astral_net::{FlowEvent, QpId, QpRecord, SolverCounters, EPHEMERAL_BASE};
 use astral_sim::{SimDuration, SimRng};
 use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Topology};
 use std::collections::BTreeSet;
@@ -250,6 +250,9 @@ pub struct RecoveryReport {
     pub incidents: Vec<Incident>,
     /// Scripted injections with their blast radii (ground truth).
     pub injections: Vec<InjectionRecord>,
+    /// Cumulative rate-solver work over the whole run (fault handling
+    /// forces full solves; healthy iterations stay incremental).
+    pub solver: SolverCounters,
 }
 
 impl RecoveryReport {
@@ -465,6 +468,7 @@ impl<'t> Engine<'t> {
             downtime_s: self.downtime_s,
             incidents: self.incidents,
             injections: self.injections,
+            solver: self.runner.sim().solver_counters(),
         }
     }
 
@@ -959,6 +963,9 @@ mod tests {
         assert_eq!(r.downtime_s, 0.0);
         assert_eq!(r.lost_rollback_s, 0.0);
         assert!(r.goodput() > 0.97, "goodput {}", r.goodput());
+        // A healthy fabric never needs the full-solve (PFC/degraded) path.
+        assert!(r.solver.incremental_solves > 0);
+        assert_eq!(r.solver.full_solves, 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::fivetuple::{ip_of_nic, FiveTuple, EPHEMERAL_BASE};
 use crate::hash::EcmpHasher;
+use crate::sim::NetworkSim;
 use astral_topo::{LinkId, NodeId, Router, Topology};
 use std::collections::HashMap;
 
@@ -211,6 +212,33 @@ impl EcmpController {
             }
         }
         moved
+    }
+
+    /// One counter-driven round against a *live* simulator: pull the
+    /// hottest links straight from the sim's ECN telemetry (the 5-second
+    /// switch counter reports), rebalance, and return how many flows moved.
+    /// This is the full Figure-17 loop as one call — the sim supplies the
+    /// topology, shared router, and production hash configuration, so the
+    /// hash simulator can never drift from what the fabric actually runs.
+    pub fn rebalance_from_sim(
+        &self,
+        sim: &NetworkSim<'_>,
+        flows: &mut [PlannedFlow],
+        top_k: usize,
+    ) -> usize {
+        let hot: Vec<LinkId> = sim
+            .telemetry()
+            .hottest_links_by_ecn(top_k)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        self.rebalance(
+            sim.topology(),
+            sim.router(),
+            &sim.config().hasher,
+            flows,
+            &hot,
+        )
     }
 }
 

@@ -46,6 +46,94 @@ pub fn max_min_rates(
     let mut frozen = vec![false; nf];
     let mut level = 0.0f64; // current water level (rate per unit weight)
 
+    // Only links carrying unfrozen weight participate in any round: the
+    // working list starts as the loaded links and is compacted as links
+    // saturate or their flows freeze, so rounds never scan the (typically
+    // much larger) unloaded remainder of the fabric.
+    let mut loaded: Vec<usize> = (0..nl).filter(|&l| load[l] > 1e-12).collect();
+
+    loop {
+        // Bottleneck link: the one whose remaining capacity per unit of
+        // unfrozen weight is smallest.
+        let mut best: Option<(usize, f64)> = None;
+        for &l in &loaded {
+            let fill = remaining[l] / load[l];
+            if best.is_none_or(|(_, b)| fill < b) {
+                best = Some((l, fill));
+            }
+        }
+        let Some((bottleneck, delta)) = best else {
+            break;
+        };
+        let delta = delta.max(0.0);
+        level += delta;
+
+        // Drain every loaded link by the level increase.
+        for &l in &loaded {
+            remaining[l] = (remaining[l] - delta * load[l]).max(0.0);
+        }
+
+        // Freeze the flows on all links that just saturated. The bottleneck
+        // link is always included explicitly so floating-point noise can
+        // never stall the loop.
+        for &l in &loaded {
+            let saturated = load[l] > 1e-12 && remaining[l] <= 1e-6 * capacity[l].max(1.0);
+            if !(saturated || l == bottleneck) {
+                continue;
+            }
+            for &f in &link_flows[l] {
+                let f = f as usize;
+                if !frozen[f] {
+                    frozen[f] = true;
+                    let w = weight.map_or(1.0, |ws| ws[f]);
+                    rate[f] = level * w;
+                    // Remove its weight from every other link it crosses.
+                    for &l2 in &flow_links[f] {
+                        load[l2 as usize] -= w;
+                    }
+                }
+            }
+            load[l] = load[l].max(0.0);
+        }
+        loaded.retain(|&l| load[l] > 1e-12);
+    }
+
+    rate
+}
+
+/// The original from-scratch water-filling, preserved verbatim: every
+/// filling round scans **all** `nl` links, loaded or not. Produces the same
+/// allocation as [`max_min_rates`]; kept only so the full-rebuild simulator
+/// mode (`NetConfig::incremental_solver == false`) reproduces the original
+/// per-event cost for honest before/after benchmarking.
+pub fn max_min_rates_seed(
+    capacity: &[f64],
+    flow_links: &[Vec<u32>],
+    weight: Option<&[f64]>,
+) -> Vec<f64> {
+    let nf = flow_links.len();
+    let nl = capacity.len();
+    let mut rate = vec![f64::INFINITY; nf];
+    if nf == 0 {
+        return rate;
+    }
+
+    // Remaining capacity and unfrozen weighted flow count per link.
+    let mut remaining = capacity.to_vec();
+    let mut load = vec![0.0f64; nl]; // sum of unfrozen weights per link
+    let mut link_flows: Vec<Vec<u32>> = vec![Vec::new(); nl];
+    for (f, links) in flow_links.iter().enumerate() {
+        let w = weight.map_or(1.0, |ws| ws[f]);
+        debug_assert!(w > 0.0, "flow weights must be positive");
+        for &l in links {
+            load[l as usize] += w;
+            link_flows[l as usize].push(f as u32);
+        }
+    }
+
+    let mut frozen = vec![false; nf];
+    let mut level = 0.0f64; // current water level (rate per unit weight)
+
     loop {
         // Bottleneck link: the one whose remaining capacity per unit of
         // unfrozen weight is smallest.

@@ -36,13 +36,15 @@ mod fairness;
 mod fivetuple;
 mod hash;
 mod sim;
+mod solver;
 mod telemetry;
 
 pub use controller::{simulate_route, EcmpController, PlannedFlow};
-pub use fairness::{check_bottleneck_property, max_min_rates};
+pub use fairness::{check_bottleneck_property, max_min_rates, max_min_rates_seed};
 pub use fivetuple::{ip_of_nic, FiveTuple, QpContext, QpId, EPHEMERAL_BASE, ROCE_PORT};
 pub use hash::{sport_layer, EcmpHasher, SaltMode};
 pub use sim::{
     FlowEvent, FlowId, FlowSpec, FlowState, FlowStats, IntHop, IntProbe, NetConfig, NetworkSim,
 };
+pub use solver::{FairShareSolver, SolverCounters};
 pub use telemetry::{ErrCqe, LinkCounters, QpRecord, Telemetry};

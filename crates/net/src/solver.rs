@@ -1,0 +1,689 @@
+//! Incremental max-min fair-share solver.
+//!
+//! [`FairShareSolver`] keeps the flow↔link incidence of the *active* flow
+//! set as persistent state — per-link flow lists with positional
+//! bookkeeping so attach/detach are O(hops) swap-removes — and re-solves
+//! water-filling only over the connected component of links and flows
+//! actually touched by a change. Max-min allocations decompose exactly over
+//! connected components of the flow–link incidence graph: flows in
+//! untouched components keep their rates, their scheduled completion events
+//! stay valid, and the per-event cost drops from O(F·L) rebuilds to the
+//! size of the disturbed component.
+//!
+//! Topology-coupled effects (PFC head-of-line pauses spilling across
+//! adjacent links) break the component decomposition, so the simulator
+//! requests full solves (`solve_full`) whenever any link is degraded or
+//! paused; pure flow churn on a healthy fabric takes the incremental path
+//! (`solve_dirty`). The pure [`max_min_rates`](crate::max_min_rates)
+//! function remains the from-scratch reference oracle that property tests
+//! compare against.
+//!
+//! All scratch (remaining capacity, per-link load, component membership,
+//! frozen marks) is held in reusable buffers with epoch stamps, so a solve
+//! allocates nothing in steady state.
+
+use serde::Serialize;
+
+/// Sentinel for "not in the active set".
+const NONE: u32 = u32::MAX;
+
+/// Load below which a link is treated as carrying no unfrozen weight.
+const LOAD_EPS: f64 = 1e-12;
+
+/// Cheap observability counters for the solver — folded into bench reports
+/// so the perf claims of the incremental path are measured, not asserted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct SolverCounters {
+    /// Flow churn notifications applied (start/finish/abort/requeue).
+    pub events: u64,
+    /// From-scratch water-filling passes over the whole active set.
+    pub full_solves: u64,
+    /// Component-local water-filling passes.
+    pub incremental_solves: u64,
+    /// Flows assigned a rate by any solve (work actually done).
+    pub flows_resolved: u64,
+    /// Link visits during bottleneck scans (inner-loop work).
+    pub links_scanned: u64,
+    /// Flows swept into dirty components (incremental solves only).
+    pub component_flows: u64,
+    /// Links swept into dirty components (incremental solves only).
+    pub component_links: u64,
+}
+
+impl SolverCounters {
+    /// Accumulate another counter snapshot (for benches spanning many sims).
+    pub fn merge(&mut self, other: &SolverCounters) {
+        self.events += other.events;
+        self.full_solves += other.full_solves;
+        self.incremental_solves += other.incremental_solves;
+        self.flows_resolved += other.flows_resolved;
+        self.links_scanned += other.links_scanned;
+        self.component_flows += other.component_flows;
+        self.component_links += other.component_links;
+    }
+
+    /// Counter delta since an `earlier` snapshot of the same solver
+    /// (counters are monotonic, so plain saturating subtraction).
+    pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            events: self.events.saturating_sub(earlier.events),
+            full_solves: self.full_solves.saturating_sub(earlier.full_solves),
+            incremental_solves: self
+                .incremental_solves
+                .saturating_sub(earlier.incremental_solves),
+            flows_resolved: self.flows_resolved.saturating_sub(earlier.flows_resolved),
+            links_scanned: self.links_scanned.saturating_sub(earlier.links_scanned),
+            component_flows: self.component_flows.saturating_sub(earlier.component_flows),
+            component_links: self.component_links.saturating_sub(earlier.component_links),
+        }
+    }
+}
+
+/// Incremental water-filling engine over a fixed link set.
+///
+/// Flows are identified by the simulator's dense flow indices; per-flow
+/// state grows monotonically as flows are registered and is reused across
+/// requeues. The solver owns the authoritative per-link `used`/`nflows`
+/// aggregates the simulator's telemetry reads.
+#[derive(Debug)]
+pub struct FairShareSolver {
+    nl: usize,
+
+    // --- persistent active-set state ---
+    /// Active flow ids, swap-remove order.
+    active: Vec<u32>,
+    /// flow id → index in `active`, or `NONE`.
+    slot_of: Vec<u32>,
+    /// flow id → links it traverses (set when the flow first starts).
+    path: Vec<Box<[u32]>>,
+    /// flow id → position of its entry in `link_flows[path[i]]`, parallel
+    /// to `path`.
+    link_pos: Vec<Box<[u32]>>,
+    /// flow id → max-min weight.
+    weight: Vec<f64>,
+    /// flow id → last solved rate (authoritative allocation).
+    rate: Vec<f64>,
+    /// link → `(flow, index-of-link-in-flow's-path)` for each active flow
+    /// crossing it. The second element makes detach O(1) per hop: when an
+    /// entry is swap-removed, the moved entry's back-pointer is repaired
+    /// without scanning.
+    link_flows: Vec<Vec<(u32, u32)>>,
+    /// link → allocated rate at the last solve.
+    link_used: Vec<f64>,
+    /// link → active flow count (maintained incrementally).
+    link_nflows: Vec<u32>,
+
+    // --- dirty tracking ---
+    dirty_links: Vec<u32>,
+    link_dirty: Vec<bool>,
+    needs_full: bool,
+
+    // --- reusable scratch ---
+    remaining: Vec<f64>,
+    load: Vec<f64>,
+    /// Epoch stamps: link/flow is in the current component iff its stamp
+    /// equals `epoch` (avoids clearing whole vectors between solves).
+    link_mark: Vec<u32>,
+    flow_mark: Vec<u32>,
+    frozen: Vec<u32>,
+    epoch: u32,
+    comp_links: Vec<u32>,
+    comp_flows: Vec<u32>,
+    loaded: Vec<u32>,
+    changed: Vec<u32>,
+
+    counters: SolverCounters,
+}
+
+impl FairShareSolver {
+    /// New solver over `nl` links.
+    pub fn new(nl: usize) -> Self {
+        FairShareSolver {
+            nl,
+            active: Vec::new(),
+            slot_of: Vec::new(),
+            path: Vec::new(),
+            link_pos: Vec::new(),
+            weight: Vec::new(),
+            rate: Vec::new(),
+            link_flows: vec![Vec::new(); nl],
+            link_used: vec![0.0; nl],
+            link_nflows: vec![0; nl],
+            dirty_links: Vec::new(),
+            link_dirty: vec![false; nl],
+            needs_full: false,
+            remaining: vec![0.0; nl],
+            load: vec![0.0; nl],
+            link_mark: vec![0; nl],
+            flow_mark: Vec::new(),
+            frozen: Vec::new(),
+            epoch: 0,
+            comp_links: Vec::new(),
+            comp_flows: Vec::new(),
+            loaded: Vec::new(),
+            changed: Vec::new(),
+            counters: SolverCounters::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> SolverCounters {
+        self.counters
+    }
+
+    /// Flow ids currently active.
+    pub fn active_flows(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Whether `flow` is in the active set.
+    pub fn is_active(&self, flow: u32) -> bool {
+        (flow as usize) < self.slot_of.len() && self.slot_of[flow as usize] != NONE
+    }
+
+    /// Last solved rate of `flow` (0 until first solved).
+    pub fn rate_of(&self, flow: u32) -> f64 {
+        self.rate.get(flow as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Per-link allocated rate at the last solve.
+    pub fn link_used(&self) -> &[f64] {
+        &self.link_used
+    }
+
+    /// Per-link active-flow counts.
+    pub fn link_nflows(&self) -> &[u32] {
+        &self.link_nflows
+    }
+
+    /// Flows whose rate was (re)assigned by the last solve. The simulator
+    /// bumps completion epochs and reschedules only these.
+    pub fn changed_flows(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// True when a full (non-component) solve has been requested.
+    pub fn needs_full(&self) -> bool {
+        self.needs_full
+    }
+
+    fn ensure_flow(&mut self, flow: u32) {
+        let want = flow as usize + 1;
+        if self.slot_of.len() < want {
+            self.slot_of.resize(want, NONE);
+            self.path.resize(want, Box::from([]));
+            self.link_pos.resize(want, Box::from([]));
+            self.weight.resize(want, 1.0);
+            self.rate.resize(want, 0.0);
+            self.flow_mark.resize(want, 0);
+            self.frozen.resize(want, 0);
+        }
+    }
+
+    fn mark_dirty(&mut self, link: u32) {
+        if !self.link_dirty[link as usize] {
+            self.link_dirty[link as usize] = true;
+            self.dirty_links.push(link);
+        }
+    }
+
+    /// Attach `flow` to the active set and every link on its stored path.
+    fn attach(&mut self, flow: u32) {
+        let fi = flow as usize;
+        debug_assert_eq!(self.slot_of[fi], NONE, "flow already active");
+        self.slot_of[fi] = self.active.len() as u32;
+        self.active.push(flow);
+        let hops = self.path[fi].len();
+        let mut pos = vec![0u32; hops].into_boxed_slice();
+        for (i, p) in pos.iter_mut().enumerate() {
+            let l = self.path[fi][i] as usize;
+            *p = self.link_flows[l].len() as u32;
+            self.link_flows[l].push((flow, i as u32));
+            self.link_nflows[l] += 1;
+            self.mark_dirty(l as u32);
+        }
+        self.link_pos[fi] = pos;
+    }
+
+    /// A flow entered the active set with the given path and weight.
+    pub fn flow_started(&mut self, flow: u32, path: &[u32], weight: f64) {
+        self.counters.events += 1;
+        self.ensure_flow(flow);
+        self.path[flow as usize] = path.into();
+        self.weight[flow as usize] = weight;
+        self.attach(flow);
+    }
+
+    /// A previously-seen flow (aborted on a failed path) re-entered the
+    /// active set on its original path.
+    pub fn flow_requeued(&mut self, flow: u32) {
+        self.counters.events += 1;
+        self.ensure_flow(flow);
+        self.attach(flow);
+    }
+
+    /// A flow left the active set (completed or aborted). O(hops):
+    /// swap-remove from the active list and from every per-link flow list,
+    /// repairing the moved entries' back-pointers.
+    pub fn flow_removed(&mut self, flow: u32) {
+        self.counters.events += 1;
+        let fi = flow as usize;
+        let slot = self.slot_of[fi];
+        debug_assert_ne!(slot, NONE, "flow not active");
+        self.active.swap_remove(slot as usize);
+        if (slot as usize) < self.active.len() {
+            self.slot_of[self.active[slot as usize] as usize] = slot;
+        }
+        self.slot_of[fi] = NONE;
+        let old_rate = if self.rate[fi].is_finite() {
+            self.rate[fi]
+        } else {
+            0.0
+        };
+        for i in 0..self.path[fi].len() {
+            let l = self.path[fi][i] as usize;
+            let p = self.link_pos[fi][i] as usize;
+            self.link_flows[l].swap_remove(p);
+            if p < self.link_flows[l].len() {
+                let (moved, j) = self.link_flows[l][p];
+                self.link_pos[moved as usize][j as usize] = p as u32;
+            }
+            self.link_nflows[l] -= 1;
+            // Keep the aggregate roughly consistent until the next solve
+            // re-derives it for the component.
+            self.link_used[l] = (self.link_used[l] - old_rate).max(0.0);
+            self.mark_dirty(l as u32);
+        }
+        self.rate[fi] = 0.0;
+    }
+
+    /// A link's capacity changed (failure or restore on a healthy fabric);
+    /// its component must be re-solved.
+    pub fn capacity_changed(&mut self, link: u32) {
+        self.mark_dirty(link);
+    }
+
+    /// Request that the next solve be a full one (topology events whose
+    /// effects cross component boundaries, e.g. PFC pause coupling).
+    pub fn request_full(&mut self) {
+        self.needs_full = true;
+    }
+
+    /// Drop all pending dirty state without solving (used by the
+    /// full-rebuild reference mode, which re-derives everything itself).
+    pub fn clear_dirty(&mut self) {
+        for &l in &self.dirty_links {
+            self.link_dirty[l as usize] = false;
+        }
+        self.dirty_links.clear();
+        self.needs_full = false;
+    }
+
+    /// Adopt rates computed by an external from-scratch solve (the
+    /// full-rebuild reference mode): `rates[i]` belongs to `flows[i]`.
+    /// Counted as one full solve that scanned every link, so before/after
+    /// bench reports show the work contrast between the two modes.
+    pub fn adopt_rates(&mut self, flows: &[u32], rates: &[f64]) {
+        self.counters.full_solves += 1;
+        self.counters.links_scanned += self.nl as u64;
+        self.counters.flows_resolved += flows.len() as u64;
+        for (&f, &r) in flows.iter().zip(rates) {
+            self.rate[f as usize] = r;
+        }
+        self.rebuild_link_used_full();
+        self.clear_dirty();
+    }
+
+    /// Full water-filling over every active flow, against `cap` (effective
+    /// capacities — the simulator applies PFC pause factors before calling).
+    /// All active flows are reported as changed.
+    pub fn solve_full(&mut self, cap: &[f64]) {
+        debug_assert_eq!(cap.len(), self.nl);
+        self.counters.full_solves += 1;
+        self.clear_dirty();
+        self.epoch += 1;
+
+        let mut comp_links = std::mem::take(&mut self.comp_links);
+        let mut comp_flows = std::mem::take(&mut self.comp_flows);
+        comp_links.clear();
+        comp_flows.clear();
+        for l in 0..self.nl {
+            if !self.link_flows[l].is_empty() {
+                self.link_mark[l] = self.epoch;
+                comp_links.push(l as u32);
+            }
+        }
+        comp_flows.extend_from_slice(&self.active);
+        for &f in &comp_flows {
+            self.flow_mark[f as usize] = self.epoch;
+        }
+
+        self.water_fill(cap, &comp_links, &comp_flows);
+
+        self.changed.clear();
+        let mut changed = std::mem::take(&mut self.changed);
+        changed.extend_from_slice(&comp_flows);
+        self.changed = changed;
+        self.comp_links = comp_links;
+        self.comp_flows = comp_flows;
+        self.rebuild_link_used_full();
+    }
+
+    /// Component-local solve: gather the connected component(s) of the
+    /// flow–link incidence graph reachable from the dirty links, water-fill
+    /// just those, and leave every other flow's rate untouched.
+    pub fn solve_dirty(&mut self, cap: &[f64]) {
+        debug_assert_eq!(cap.len(), self.nl);
+        debug_assert!(!self.needs_full, "full solve pending");
+        if self.dirty_links.is_empty() {
+            self.changed.clear();
+            return;
+        }
+        self.counters.incremental_solves += 1;
+        self.epoch += 1;
+
+        // BFS over the bipartite incidence graph, seeded at dirty links.
+        let mut comp_links = std::mem::take(&mut self.comp_links);
+        let mut comp_flows = std::mem::take(&mut self.comp_flows);
+        comp_links.clear();
+        comp_flows.clear();
+        for i in 0..self.dirty_links.len() {
+            let l = self.dirty_links[i];
+            if self.link_mark[l as usize] != self.epoch {
+                self.link_mark[l as usize] = self.epoch;
+                comp_links.push(l);
+            }
+        }
+        let mut head = 0;
+        while head < comp_links.len() {
+            let l = comp_links[head] as usize;
+            head += 1;
+            for i in 0..self.link_flows[l].len() {
+                let (f, _) = self.link_flows[l][i];
+                if self.flow_mark[f as usize] != self.epoch {
+                    self.flow_mark[f as usize] = self.epoch;
+                    comp_flows.push(f);
+                    for &l2 in self.path[f as usize].iter() {
+                        if self.link_mark[l2 as usize] != self.epoch {
+                            self.link_mark[l2 as usize] = self.epoch;
+                            comp_links.push(l2);
+                        }
+                    }
+                }
+            }
+        }
+        self.counters.component_links += comp_links.len() as u64;
+        self.counters.component_flows += comp_flows.len() as u64;
+        self.clear_dirty();
+
+        self.water_fill(cap, &comp_links, &comp_flows);
+
+        // Re-derive the aggregates for component links only.
+        for &l in &comp_links {
+            self.link_used[l as usize] = 0.0;
+        }
+        for &f in &comp_flows {
+            let r = self.rate[f as usize];
+            if r.is_finite() {
+                for &l in self.path[f as usize].iter() {
+                    self.link_used[l as usize] += r;
+                }
+            }
+        }
+
+        self.changed.clear();
+        let mut changed = std::mem::take(&mut self.changed);
+        changed.extend_from_slice(&comp_flows);
+        self.changed = changed;
+        self.comp_links = comp_links;
+        self.comp_flows = comp_flows;
+    }
+
+    fn rebuild_link_used_full(&mut self) {
+        self.link_used.iter_mut().for_each(|u| *u = 0.0);
+        for &f in &self.active {
+            let r = self.rate[f as usize];
+            if r.is_finite() {
+                for &l in self.path[f as usize].iter() {
+                    self.link_used[l as usize] += r;
+                }
+            }
+        }
+    }
+
+    /// Progressive-filling water-fill restricted to `(links, flows)` —
+    /// the same algorithm as [`max_min_rates`](crate::max_min_rates),
+    /// operating in place on reusable scratch. Writes `self.rate` for every
+    /// flow in `flows`.
+    fn water_fill(&mut self, cap: &[f64], links: &[u32], flows: &[u32]) {
+        self.counters.flows_resolved += flows.len() as u64;
+        for &l in links {
+            self.remaining[l as usize] = cap[l as usize];
+            self.load[l as usize] = 0.0;
+        }
+        for &f in flows {
+            let fi = f as usize;
+            if self.path[fi].is_empty() {
+                self.rate[fi] = f64::INFINITY;
+                self.frozen[fi] = self.epoch; // nothing to fill
+                continue;
+            }
+            self.frozen[fi] = 0; // unfrozen this round (epoch stamps freeze)
+            let w = self.weight[fi];
+            for &l in self.path[fi].iter() {
+                self.load[l as usize] += w;
+            }
+        }
+
+        let mut loaded = std::mem::take(&mut self.loaded);
+        loaded.clear();
+        loaded.extend(links.iter().copied().filter(|&l| {
+            // Only links carrying unfrozen weight participate in the scan.
+            self.load[l as usize] > LOAD_EPS
+        }));
+
+        let mut level = 0.0f64;
+        loop {
+            // Bottleneck among loaded links only: the satellite fix — the
+            // scan never touches unloaded links.
+            self.counters.links_scanned += loaded.len() as u64;
+            let mut best: Option<(u32, f64)> = None;
+            for &l in &loaded {
+                let li = l as usize;
+                let fill = self.remaining[li] / self.load[li];
+                if best.is_none_or(|(_, b)| fill < b) {
+                    best = Some((l, fill));
+                }
+            }
+            let Some((bottleneck, delta)) = best else {
+                break;
+            };
+            let delta = delta.max(0.0);
+            level += delta;
+
+            for &l in &loaded {
+                let li = l as usize;
+                self.remaining[li] = (self.remaining[li] - delta * self.load[li]).max(0.0);
+            }
+
+            // Freeze flows on links that just saturated; the bottleneck is
+            // always included so float noise can never stall the loop.
+            for &l in &loaded {
+                let li = l as usize;
+                let saturated = self.remaining[li] <= 1e-6 * cap[li].max(1.0);
+                if !(saturated || l == bottleneck) {
+                    continue;
+                }
+                for i in 0..self.link_flows[li].len() {
+                    let (f, _) = self.link_flows[li][i];
+                    let fi = f as usize;
+                    if self.frozen[fi] == self.epoch {
+                        continue;
+                    }
+                    self.frozen[fi] = self.epoch;
+                    let w = self.weight[fi];
+                    self.rate[fi] = level * w;
+                    for &l2 in self.path[fi].iter() {
+                        self.load[l2 as usize] -= w;
+                    }
+                }
+                self.load[li] = self.load[li].max(0.0);
+            }
+            loaded.retain(|&l| self.load[l as usize] > LOAD_EPS);
+        }
+        self.loaded = loaded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::max_min_rates;
+
+    fn oracle(cap: &[f64], paths: &[Vec<u32>], weights: &[f64]) -> Vec<f64> {
+        max_min_rates(cap, paths, Some(weights))
+    }
+
+    /// Drive the solver through churn and check against the oracle after
+    /// every step.
+    #[test]
+    fn incremental_matches_oracle_through_churn() {
+        let cap = vec![10.0, 4.0, 6.0, 8.0];
+        let paths: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![1],
+            vec![0, 1],
+            vec![2, 3],
+            vec![3],
+            vec![0, 2],
+        ];
+        let weights = [1.0, 1.0, 2.0, 1.0, 1.0, 1.0];
+
+        let mut s = FairShareSolver::new(cap.len());
+        let mut live: Vec<usize> = Vec::new();
+        let script: &[(bool, usize)] = &[
+            (true, 0),
+            (true, 2),
+            (true, 1),
+            (false, 2),
+            (true, 3),
+            (true, 4),
+            (true, 5),
+            (false, 0),
+            (true, 2),
+            (false, 4),
+        ];
+        for &(add, f) in script {
+            if add {
+                if s.is_active(f as u32) {
+                    continue;
+                }
+                if f < s.slot_of.len() && !s.path[f].is_empty() {
+                    s.flow_requeued(f as u32);
+                } else {
+                    s.flow_started(f as u32, &paths[f], weights[f]);
+                }
+                live.push(f);
+            } else {
+                s.flow_removed(f as u32);
+                live.retain(|&x| x != f);
+            }
+            s.solve_dirty(&cap);
+
+            let opaths: Vec<Vec<u32>> = live.iter().map(|&f| paths[f].clone()).collect();
+            let ow: Vec<f64> = live.iter().map(|&f| weights[f]).collect();
+            let want = oracle(&cap, &opaths, &ow);
+            for (i, &f) in live.iter().enumerate() {
+                let got = s.rate_of(f as u32);
+                assert!(
+                    (got - want[i]).abs() <= 1e-9 * want[i].abs().max(1.0),
+                    "flow {f}: got {got}, oracle {want:?}"
+                );
+            }
+        }
+        assert!(s.counters().incremental_solves > 0);
+    }
+
+    #[test]
+    fn full_solve_matches_oracle() {
+        let cap = vec![5.0, 9.0, 2.0];
+        let paths: Vec<Vec<u32>> = vec![vec![0, 2], vec![1], vec![0, 1], vec![2]];
+        let mut s = FairShareSolver::new(cap.len());
+        for (f, p) in paths.iter().enumerate() {
+            s.flow_started(f as u32, p, 1.0);
+        }
+        s.request_full();
+        s.solve_full(&cap);
+        let want = max_min_rates(&cap, &paths, None);
+        for (f, &w) in want.iter().enumerate() {
+            assert!((s.rate_of(f as u32) - w).abs() < 1e-9);
+        }
+        assert_eq!(s.changed_flows().len(), paths.len());
+    }
+
+    #[test]
+    fn untouched_component_is_not_resolved() {
+        // Two disjoint components: flows {0} on link 0, {1} on link 1.
+        let cap = vec![7.0, 3.0];
+        let mut s = FairShareSolver::new(2);
+        s.flow_started(0, &[0], 1.0);
+        s.flow_started(1, &[1], 1.0);
+        s.solve_dirty(&cap);
+        assert_eq!(s.rate_of(0), 7.0);
+        assert_eq!(s.rate_of(1), 3.0);
+
+        // Adding a second flow on link 1 must not touch flow 0.
+        s.flow_started(2, &[1], 1.0);
+        s.solve_dirty(&cap);
+        assert!(!s.changed_flows().contains(&0));
+        assert_eq!(s.rate_of(0), 7.0);
+        assert!((s.rate_of(1) - 1.5).abs() < 1e-12);
+        assert!((s.rate_of(2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_remove_bookkeeping_survives_heavy_churn() {
+        // Many flows over one shared link, removed in arbitrary order.
+        let cap = vec![100.0, 50.0];
+        let mut s = FairShareSolver::new(2);
+        for f in 0..16u32 {
+            let path = if f % 2 == 0 { vec![0u32] } else { vec![0, 1] };
+            s.flow_started(f, &path, 1.0);
+        }
+        s.solve_dirty(&cap);
+        for f in [3u32, 0, 15, 7, 8, 1] {
+            s.flow_removed(f);
+            s.solve_dirty(&cap);
+        }
+        // 10 flows left; verify against oracle.
+        let live: Vec<u32> = s.active_flows().to_vec();
+        let paths: Vec<Vec<u32>> = live
+            .iter()
+            .map(|&f| if f % 2 == 0 { vec![0u32] } else { vec![0, 1] })
+            .collect();
+        let want = max_min_rates(&cap, &paths, None);
+        for (i, &f) in live.iter().enumerate() {
+            assert!(
+                (s.rate_of(f) - want[i]).abs() < 1e-9,
+                "flow {f} mismatch after churn"
+            );
+        }
+        // nflows bookkeeping intact.
+        assert_eq!(s.link_nflows()[0] as usize, live.len());
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let cap = vec![1.0];
+        let mut s = FairShareSolver::new(1);
+        s.flow_started(0, &[0], 1.0);
+        s.solve_dirty(&cap);
+        let a = s.counters();
+        assert_eq!(a.events, 1);
+        assert_eq!(a.incremental_solves, 1);
+        let mut m = SolverCounters::default();
+        m.merge(&a);
+        m.merge(&a);
+        assert_eq!(m.events, 2);
+    }
+}

@@ -68,10 +68,26 @@ pub enum Phase {
 /// Distance fields toward one destination NIC.
 #[derive(Debug)]
 pub struct DistField {
+    /// The destination the fields point at.
+    dst: NodeId,
     /// `dist_down[node]`: downhill-only distance to the destination.
     down: Vec<u16>,
     /// `dist_up[node]`: valley-free distance to the destination.
     up: Vec<u16>,
+    /// Equal-cost next hops per (node, phase), built lazily on the first
+    /// path walk (one O(links) pass); afterwards every hop of every flow
+    /// toward this destination is a slice lookup instead of an adjacency
+    /// scan — the routing half of keeping per-flow simulation work cheap.
+    hops: std::sync::OnceLock<HopTable>,
+}
+
+/// CSR next-hop candidates per node for one destination.
+#[derive(Debug)]
+struct HopTable {
+    off_up: Vec<u32>,
+    hops_up: Vec<Hop>,
+    off_down: Vec<u32>,
+    hops_down: Vec<Hop>,
 }
 
 impl DistField {
@@ -85,6 +101,39 @@ impl DistField {
     pub fn up(&self, node: NodeId) -> Option<u16> {
         let d = self.up[node.index()];
         (d != INF).then_some(d)
+    }
+
+    /// Equal-cost next hops from `node` in `phase`, from the precomputed
+    /// table (identical to [`next_hops_in`], which builds it).
+    fn next_hops(&self, topo: &Topology, node: NodeId, phase: Phase) -> &[Hop] {
+        let t = self.hops.get_or_init(|| {
+            let n = topo.nodes().len();
+            let mut table = HopTable {
+                off_up: Vec::with_capacity(n + 1),
+                hops_up: Vec::new(),
+                off_down: Vec::with_capacity(n + 1),
+                hops_down: Vec::new(),
+            };
+            table.off_up.push(0);
+            table.off_down.push(0);
+            for i in 0..n {
+                let node = NodeId(i as u32);
+                table
+                    .hops_up
+                    .extend(next_hops_in(topo, self, node, Phase::Up, self.dst));
+                table.off_up.push(table.hops_up.len() as u32);
+                table
+                    .hops_down
+                    .extend(next_hops_in(topo, self, node, Phase::Down, self.dst));
+                table.off_down.push(table.hops_down.len() as u32);
+            }
+            table
+        });
+        let i = node.index();
+        match phase {
+            Phase::Up => &t.hops_up[t.off_up[i] as usize..t.off_up[i + 1] as usize],
+            Phase::Down => &t.hops_down[t.off_down[i] as usize..t.off_down[i + 1] as usize],
+        }
     }
 }
 
@@ -187,11 +236,11 @@ impl Router {
         let mut phase = Phase::Up;
         let mut path = Vec::new();
         while cur != dst_nic {
-            let hops = next_hops_in(topo, &field, cur, phase, dst_nic);
+            let hops = field.next_hops(topo, cur, phase);
             if hops.is_empty() {
                 return Ok(None);
             }
-            let idx = choose(cur, &hops);
+            let idx = choose(cur, hops);
             debug_assert!(idx < hops.len(), "chooser returned out-of-range index");
             let hop = hops[idx.min(hops.len() - 1)];
             path.push(hop.link);
@@ -356,10 +405,15 @@ fn compute_field(topo: &Topology, dst: NodeId) -> DistField {
             continue;
         }
         let y = NodeId(yi);
-        // Relax every x with an up move (x -> y): reverse edge y -> x.
+        // Relax every x with an up move (x -> y): walk y's out links and
+        // use the duplex-wiring invariant (the same one the BFS above
+        // relies on) — an edge y -> x implies the reverse x -> y exists,
+        // so the tier comparison alone identifies relaxable edges without
+        // a per-edge map lookup.
         for &l in topo.out_links(y) {
             let x = topo.link(l).dst;
-            if topo.link_between(x, y).is_some() && is_up_move(topo, x, y) {
+            if is_up_move(topo, x, y) {
+                debug_assert!(topo.link_between(x, y).is_some(), "non-duplex wiring");
                 let nd = d.saturating_add(1);
                 if nd < up[x.index()] {
                     up[x.index()] = nd;
@@ -369,7 +423,12 @@ fn compute_field(topo: &Topology, dst: NodeId) -> DistField {
         }
     }
 
-    DistField { down, up }
+    DistField {
+        dst,
+        down,
+        up,
+        hops: std::sync::OnceLock::new(),
+    }
 }
 
 #[cfg(test)]
