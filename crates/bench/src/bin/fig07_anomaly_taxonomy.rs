@@ -44,6 +44,9 @@ fn fault_for(cause: RootCause, rng: &mut SimRng) -> Fault {
         RootCause::GpuHardware => Fault::GpuXid { host },
         RootCause::Memory => Fault::EccMemory { host },
         RootCause::LinkFlap => Fault::LinkFlap,
+        // Substrate-level causes (cascade engine diagnoses) are not part
+        // of the Fig 7 injection distribution; manifest as environment.
+        RootCause::PowerDelivery | RootCause::CoolingSystem => Fault::HostEnvBad { host },
     }
 }
 

@@ -20,6 +20,66 @@ use serde::{Deserialize, Serialize};
 /// Air density × specific heat, J/(m³·K).
 const RHO_CP: f64 = 1.2 * 1005.0;
 
+/// Validation failures on user-supplied thermal-model inputs. The `try_`
+/// constructors return these instead of letting NaN heat loads or zero
+/// airflow poison every downstream temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingError {
+    /// A heat load was NaN or infinite.
+    NonFiniteHeat {
+        /// The offending value, watts.
+        value: f64,
+    },
+    /// A heat load that must be ≥ 0 was negative.
+    NegativeHeat {
+        /// The offending value, watts.
+        value: f64,
+    },
+    /// The total supply airflow must be finite and > 0 (per-rack
+    /// temperature divides by the rack's flow share of it).
+    NonPositiveFlow {
+        /// The offending flow, m³/s.
+        flow_m3s: f64,
+    },
+    /// The inlet temperature was NaN or infinite.
+    NonFiniteInlet {
+        /// The offending value, °C.
+        inlet_c: f64,
+    },
+    /// A row needs at least one rack.
+    EmptyRow,
+    /// A blend/boost fraction must lie in [0, 1].
+    FracOutOfRange {
+        /// The offending fraction.
+        frac: f64,
+    },
+}
+
+impl std::fmt::Display for CoolingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoolingError::NonFiniteHeat { value } => {
+                write!(f, "heat load must be finite, got {value}")
+            }
+            CoolingError::NegativeHeat { value } => {
+                write!(f, "heat load must be non-negative, got {value}")
+            }
+            CoolingError::NonPositiveFlow { flow_m3s } => {
+                write!(f, "total airflow must be > 0 m³/s, got {flow_m3s}")
+            }
+            CoolingError::NonFiniteInlet { inlet_c } => {
+                write!(f, "inlet temperature must be finite, got {inlet_c}")
+            }
+            CoolingError::EmptyRow => write!(f, "a rack row needs at least one rack"),
+            CoolingError::FracOutOfRange { frac } => {
+                write!(f, "fraction must lie in [0, 1], got {frac}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoolingError {}
+
 /// Intake geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Airflow {
@@ -48,6 +108,65 @@ impl RackRow {
             inlet_c,
             total_flow_m3s,
         }
+    }
+
+    /// A validated row: heat loads finite and non-negative, inlet finite,
+    /// total flow finite and strictly positive, at least one rack.
+    pub fn try_new(
+        heat_w: Vec<f64>,
+        inlet_c: f64,
+        total_flow_m3s: f64,
+    ) -> Result<Self, CoolingError> {
+        if heat_w.is_empty() {
+            return Err(CoolingError::EmptyRow);
+        }
+        for &q in &heat_w {
+            if !q.is_finite() {
+                return Err(CoolingError::NonFiniteHeat { value: q });
+            }
+            if q < 0.0 {
+                return Err(CoolingError::NegativeHeat { value: q });
+            }
+        }
+        if !inlet_c.is_finite() {
+            return Err(CoolingError::NonFiniteInlet { inlet_c });
+        }
+        if total_flow_m3s <= 0.0 || !total_flow_m3s.is_finite() {
+            return Err(CoolingError::NonPositiveFlow {
+                flow_m3s: total_flow_m3s,
+            });
+        }
+        Ok(RackRow {
+            heat_w,
+            inlet_c,
+            total_flow_m3s,
+        })
+    }
+
+    /// Validated [`RackRow::uniform`].
+    pub fn try_uniform(
+        racks: usize,
+        heat_w: f64,
+        inlet_c: f64,
+        total_flow_m3s: f64,
+    ) -> Result<Self, CoolingError> {
+        RackRow::try_new(vec![heat_w; racks], inlet_c, total_flow_m3s)
+    }
+
+    /// The same row with its supply flow scaled by `frac` — a degraded
+    /// pump/CDU delivers only part of the design airflow, raising every
+    /// steady-state rack temperature by `1/frac`-ish over inlet.
+    pub fn with_flow_fraction(&self, frac: f64) -> Result<Self, CoolingError> {
+        if frac <= 0.0 || !frac.is_finite() {
+            return Err(CoolingError::NonPositiveFlow {
+                flow_m3s: self.total_flow_m3s * frac,
+            });
+        }
+        Ok(RackRow {
+            heat_w: self.heat_w.clone(),
+            inlet_c: self.inlet_c,
+            total_flow_m3s: self.total_flow_m3s * frac,
+        })
     }
 
     /// Per-rack airflow share under the given geometry.
@@ -85,6 +204,51 @@ impl RackRow {
                 self.inlet_c + q / (RHO_CP * v)
             })
             .collect()
+    }
+
+    /// Steady-state rack temperatures with the flow-reroute mitigation
+    /// engaged: louvers/valves steer a `boost` fraction of the supply from
+    /// the geometric distribution toward a heat-proportional one (hot racks
+    /// receive extra flow at the expense of cool ones). `boost = 0` is
+    /// [`RackRow::temperatures`]; `boost = 1` equalizes temperatures at the
+    /// row mean for the available flow. Total flow is conserved — reroute
+    /// trades spread for nothing, which is exactly why it can hold a
+    /// pump-degraded row below its throttle point.
+    pub fn temperatures_rerouted(
+        &self,
+        mode: Airflow,
+        boost: f64,
+    ) -> Result<Vec<f64>, CoolingError> {
+        if !(0.0..=1.0).contains(&boost) || !boost.is_finite() {
+            return Err(CoolingError::FracOutOfRange { frac: boost });
+        }
+        let geo = self.flow_share(mode);
+        let total_heat: f64 = self.heat_w.iter().sum();
+        let n = self.heat_w.len();
+        let shares: Vec<f64> = geo
+            .iter()
+            .zip(&self.heat_w)
+            .map(|(&g, &q)| {
+                let proportional = if total_heat > 0.0 {
+                    q / total_heat
+                } else {
+                    1.0 / n as f64
+                };
+                (1.0 - boost) * g + boost * proportional
+            })
+            .collect();
+        Ok(shares
+            .iter()
+            .zip(&self.heat_w)
+            .map(|(&share, &q)| {
+                let v = share * self.total_flow_m3s;
+                if v > 0.0 {
+                    self.inlet_c + q / (RHO_CP * v)
+                } else {
+                    self.inlet_c
+                }
+            })
+            .collect())
     }
 
     /// Max − min rack temperature, °C (Figure 5's metric).
@@ -147,6 +311,60 @@ mod tests {
             let s: f64 = row.flow_share(mode).iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn constructors_reject_bad_thermal_inputs() {
+        assert!(matches!(
+            RackRow::try_new(Vec::new(), 22.0, 1.0),
+            Err(CoolingError::EmptyRow)
+        ));
+        assert!(matches!(
+            RackRow::try_new(vec![f64::NAN], 22.0, 1.0),
+            Err(CoolingError::NonFiniteHeat { .. })
+        ));
+        assert!(matches!(
+            RackRow::try_new(vec![-1.0], 22.0, 1.0),
+            Err(CoolingError::NegativeHeat { .. })
+        ));
+        assert!(matches!(
+            RackRow::try_uniform(4, 1000.0, 22.0, 0.0),
+            Err(CoolingError::NonPositiveFlow { .. })
+        ));
+        assert!(matches!(
+            RackRow::try_uniform(4, 1000.0, f64::INFINITY, 1.0),
+            Err(CoolingError::NonFiniteInlet { .. })
+        ));
+        assert!(RackRow::try_uniform(4, 1000.0, 22.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn degraded_pump_raises_every_rack_temperature() {
+        let row = paper_row();
+        let degraded = row.with_flow_fraction(0.5).unwrap();
+        let healthy = row.temperatures(Airflow::BottomUp);
+        let hot = degraded.temperatures(Airflow::BottomUp);
+        for (h, d) in healthy.iter().zip(&hot) {
+            assert!(d > h, "half flow must run hotter: {h} vs {d}");
+        }
+        assert!(row.with_flow_fraction(0.0).is_err());
+        assert!(row.with_flow_fraction(-0.5).is_err());
+    }
+
+    #[test]
+    fn flow_reroute_collapses_the_spread_without_extra_flow() {
+        let row = paper_row().with_flow_fraction(0.6).unwrap();
+        let raw = row.temperatures(Airflow::SideIntake);
+        let rerouted = row.temperatures_rerouted(Airflow::SideIntake, 0.9).unwrap();
+        let spread = |t: &[f64]| {
+            t.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - t.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&rerouted) < spread(&raw) * 0.25);
+        // The hottest rack gets strictly cooler — the point of the valve.
+        let max = |t: &[f64]| t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max(&rerouted) < max(&raw));
+        assert!(row.temperatures_rerouted(Airflow::SideIntake, 1.5).is_err());
     }
 
     #[test]

@@ -14,5 +14,5 @@
 mod airflow;
 mod integrated;
 
-pub use airflow::{paper_row, Airflow, RackRow};
+pub use airflow::{paper_row, Airflow, CoolingError, RackRow};
 pub use integrated::{mean_pue_improvement, pue_evolution, CoolingPlant, FacilityConfig};

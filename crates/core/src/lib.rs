@@ -12,6 +12,11 @@
 //! * [`run_training`] / [`RecoveryPolicy`] — the closed-loop failure
 //!   lifecycle engine (detect → localize → mitigate → resume) with
 //!   goodput/MTTR accounting (§5, Figure 10).
+//! * [`run_cascade`] / [`FaultCampaign`] — the cross-substrate cascade
+//!   engine: correlated power/cooling/optics fault campaigns flowing
+//!   through the same lifecycle, with graceful degradation and
+//!   Seer-gated proactive mitigation competing against the reactive
+//!   ladder.
 //!
 //! ```
 //! use astral_core::{AstralInfrastructure, PlacementPolicy};
@@ -25,13 +30,19 @@
 
 #![warn(missing_docs)]
 
+pub mod cascade;
 mod infra;
 mod placement;
 pub mod recovery;
 
+pub use cascade::{
+    run_cascade, try_run_cascade, CascadeAttribution, CascadeClass, CascadeReport, CascadeScript,
+    FaultCampaign, HazardRates, SubstrateFault,
+};
 pub use infra::{AstralInfrastructure, JobEvaluation};
 pub use placement::{place_job, pods_touched, PlacementPolicy};
 pub use recovery::{
-    run_training, FaultClass, FaultScript, Incident, InjectedFault, InjectionRecord,
-    MitigationAction, RecoveryPolicy, RecoveryReport, TrainingJobSpec,
+    run_training, try_run_training, FaultClass, FaultScript, Incident, InjectedFault,
+    InjectionRecord, MitigationAction, PolicyError, RecoveryPolicy, RecoveryReport,
+    TrainingJobSpec,
 };

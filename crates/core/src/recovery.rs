@@ -27,8 +27,12 @@
 //! overhead, and downtime (detection, backoff, restart), yielding an
 //! effective-training-time ratio plus MTTR/MTTLF per incident.
 
+use crate::cascade::SubstrateState;
 use astral_collectives::{CollectiveRunner, RunnerConfig};
-use astral_monitor::{OnlineAlarm, OnlineDetector, OnlineDetectorConfig, RootCause};
+use astral_monitor::{
+    Analyzer, CauseClass, HostHealth, JobDesc, OnlineAlarm, OnlineDetector, OnlineDetectorConfig,
+    RankProgress, RootCause, Snapshot,
+};
 use astral_net::{FlowEvent, QpId, QpRecord, SolverCounters, EPHEMERAL_BASE};
 use astral_sim::{SimDuration, SimRng};
 use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Topology};
@@ -58,6 +62,16 @@ pub struct RecoveryPolicy {
     pub degraded_bw_floor: f64,
     /// Checkpoint restarts allowed before the job is declared lost.
     pub max_restarts: u32,
+    /// Graceful degradation: on a diagnosed substrate cascade, engage
+    /// flow reroute + thermal power caps (cooling), power-cap
+    /// ride-through (power), and straggler-aware micro-batch rebalancing
+    /// instead of letting the cascade escalate to a cordon.
+    pub graceful_degradation: bool,
+    /// Take a checkpoint when the Seer hazard forecast predicts a forced
+    /// cordon (or battery exhaustion) within [`Self::seer_lead_iters`].
+    pub proactive_checkpoint: bool,
+    /// Forecast lead window, iterations, for the proactive checkpoint.
+    pub seer_lead_iters: u32,
 }
 
 impl Default for RecoveryPolicy {
@@ -72,9 +86,85 @@ impl Default for RecoveryPolicy {
             restart_overhead_s: 0.5,
             degraded_bw_floor: 0.4,
             max_restarts: 3,
+            graceful_degradation: true,
+            proactive_checkpoint: true,
+            seer_lead_iters: 3,
         }
     }
 }
+
+/// A nonsensical [`RecoveryPolicy`] knob combination, rejected before a
+/// run starts (a zero checkpoint interval would otherwise panic deep in
+/// the rollback arithmetic; a zero retry budget with mitigation enabled
+/// silently degrades every reroute into a restart).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyError {
+    /// `checkpoint_interval` must be ≥ 1 (rollback divides by it).
+    ZeroCheckpointInterval,
+    /// Mitigation is enabled but `retry_budget` is 0: every transient
+    /// fault would escalate straight to a checkpoint restart.
+    ZeroRetryBudget,
+    /// Mitigation is enabled but `max_restarts` is 0: the first
+    /// escalation aborts the job.
+    ZeroMaxRestarts,
+    /// Mitigation is enabled with retries but no backoff: the retry loop
+    /// would hammer a faulted fabric with zero spacing.
+    ZeroBackoff,
+    /// A wall-clock cost knob is negative or non-finite.
+    BadCost {
+        /// Which knob.
+        field: &'static str,
+        /// The offending value, seconds.
+        value: f64,
+    },
+    /// `degraded_bw_floor` must lie in [0, 1].
+    BwFloorOutOfRange {
+        /// The offending fraction.
+        value: f64,
+    },
+    /// Proactive checkpoints are enabled but the Seer lead window is 0
+    /// iterations: the forecast could never fire before the cordon.
+    ZeroSeerLead,
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint_interval must be at least 1")
+            }
+            PolicyError::ZeroRetryBudget => {
+                write!(
+                    f,
+                    "retry_budget must be at least 1 when recovery is enabled"
+                )
+            }
+            PolicyError::ZeroMaxRestarts => {
+                write!(
+                    f,
+                    "max_restarts must be at least 1 when recovery is enabled"
+                )
+            }
+            PolicyError::ZeroBackoff => {
+                write!(f, "backoff_base must be positive when retries are enabled")
+            }
+            PolicyError::BadCost { field, value } => {
+                write!(f, "{field} must be finite and non-negative, got {value}")
+            }
+            PolicyError::BwFloorOutOfRange { value } => {
+                write!(f, "degraded_bw_floor must lie in [0, 1], got {value}")
+            }
+            PolicyError::ZeroSeerLead => {
+                write!(
+                    f,
+                    "seer_lead_iters must be at least 1 when proactive_checkpoint is on"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
 
 impl RecoveryPolicy {
     /// The ablation baseline: no recovery, first fault kills the job.
@@ -83,6 +173,53 @@ impl RecoveryPolicy {
             enabled: false,
             ..RecoveryPolicy::default()
         }
+    }
+
+    /// The PR-1 reactive ladder only: reroute/failover/restart, no
+    /// graceful degradation and no Seer-gated proactive checkpoints.
+    pub fn reactive_only() -> Self {
+        RecoveryPolicy {
+            graceful_degradation: false,
+            proactive_checkpoint: false,
+            ..RecoveryPolicy::default()
+        }
+    }
+
+    /// Reject nonsensical knob combinations at construction time instead
+    /// of letting them panic (or silently misbehave) mid-run.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.checkpoint_interval == 0 {
+            return Err(PolicyError::ZeroCheckpointInterval);
+        }
+        for (field, value) in [
+            ("checkpoint_cost_s", self.checkpoint_cost_s),
+            ("detection_overhead_s", self.detection_overhead_s),
+            ("restart_overhead_s", self.restart_overhead_s),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PolicyError::BadCost { field, value });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.degraded_bw_floor) {
+            return Err(PolicyError::BwFloorOutOfRange {
+                value: self.degraded_bw_floor,
+            });
+        }
+        if self.enabled {
+            if self.retry_budget == 0 {
+                return Err(PolicyError::ZeroRetryBudget);
+            }
+            if self.max_restarts == 0 {
+                return Err(PolicyError::ZeroMaxRestarts);
+            }
+            if self.backoff_base.as_secs_f64() <= 0.0 {
+                return Err(PolicyError::ZeroBackoff);
+            }
+        }
+        if self.proactive_checkpoint && self.seer_lead_iters == 0 {
+            return Err(PolicyError::ZeroSeerLead);
+        }
+        Ok(())
     }
 }
 
@@ -197,6 +334,19 @@ pub enum MitigationAction {
     /// Host(s) cordoned / drained, spare placed, job rolled back to the
     /// last checkpoint.
     RestartFromCheckpoint,
+    /// Cooling cascade: louvers/valves steered the surviving airflow
+    /// toward the hot racks and a thermal power cap sized the heat to it.
+    FlowReroute,
+    /// Power cascade: the rack power cap was accepted and ridden through
+    /// instead of draining the row.
+    PowerCapRideThrough,
+    /// Straggler-aware micro-batch rebalancing: work shifted off the
+    /// throttled hosts so the job runs at the harmonic-mean slowdown
+    /// instead of the max.
+    MicroBatchRebalance,
+    /// A checkpoint taken because the Seer hazard forecast predicted a
+    /// forced cordon (or battery exhaustion) within the lead window.
+    ProactiveCheckpoint,
     /// Recovery gave up (or was disabled).
     Abort,
 }
@@ -242,6 +392,10 @@ pub struct RecoveryReport {
     pub useful_s: f64,
     /// Wall-clock of iterations discarded by checkpoint rollbacks.
     pub lost_rollback_s: f64,
+    /// Excess compute wall-clock lost to substrate throttling (power
+    /// caps, thermal throttle): the straggler tax of a cascade. Zero when
+    /// no substrate is attached.
+    pub degraded_s: f64,
     /// Wall-clock spent writing checkpoints.
     pub checkpoint_s: f64,
     /// Detection, backoff, failed attempts, and restart time.
@@ -258,7 +412,7 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// Total accounted wall-clock.
     pub fn total_s(&self) -> f64 {
-        self.useful_s + self.lost_rollback_s + self.checkpoint_s + self.downtime_s
+        self.useful_s + self.lost_rollback_s + self.degraded_s + self.checkpoint_s + self.downtime_s
     }
 
     /// Goodput fraction: useful time over total (the Figure-10 y-axis,
@@ -288,17 +442,99 @@ impl RecoveryReport {
         let all: Vec<f64> = self.incidents.iter().map(|i| i.locate_s).collect();
         (!all.is_empty()).then(|| all.iter().sum::<f64>() / all.len() as f64)
     }
+
+    /// A deterministic fingerprint over every semantic field of the run —
+    /// float bits, the full incident and injection sequences — but
+    /// *excluding* [`SolverCounters`], which legitimately differ between
+    /// the incremental and full-rebuild rate solvers while producing the
+    /// same rates. Byte-identical fingerprints ⇒ identical runs.
+    pub fn fingerprint(&self) -> String {
+        let mut s = format!(
+            "done:{}·{}|u:{:016x}|r:{:016x}|g:{:016x}|c:{:016x}|d:{:016x}",
+            self.completed,
+            self.iters_done,
+            self.useful_s.to_bits(),
+            self.lost_rollback_s.to_bits(),
+            self.degraded_s.to_bits(),
+            self.checkpoint_s.to_bits(),
+            self.downtime_s.to_bits(),
+        );
+        for i in &self.incidents {
+            s.push_str(&format!(
+                "|inc:{}·{:?}·{:?}·{}·{:016x}·{:016x}·{:?}·{:?}",
+                i.iter,
+                i.class,
+                i.action,
+                i.retries,
+                i.locate_s.to_bits(),
+                i.repair_s.to_bits(),
+                i.blamed,
+                i.cordoned,
+            ));
+        }
+        for j in &self.injections {
+            s.push_str(&format!("|inj:{:?}·{}", j.fault, j.blast_radius));
+        }
+        s
+    }
 }
 
 /// Run a training job under `policy` with `script`'s faults injected.
 /// Deterministic for a fixed (topology, policy, spec, script) tuple.
+/// Panics on an invalid policy (see [`RecoveryPolicy::validate`]); use
+/// [`try_run_training`] to handle the error instead.
 pub fn run_training(
     topo: &Topology,
     policy: &RecoveryPolicy,
     spec: &TrainingJobSpec,
     script: &FaultScript,
 ) -> RecoveryReport {
-    Engine::new(topo, *policy, *spec, script.clone()).run()
+    match try_run_training(topo, policy, spec, script) {
+        Ok(r) => r,
+        Err(e) => panic!("run_training: invalid policy: {e}"),
+    }
+}
+
+/// [`run_training`] that surfaces policy-validation failures instead of
+/// panicking.
+pub fn try_run_training(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    script: &FaultScript,
+) -> Result<RecoveryReport, PolicyError> {
+    policy.validate()?;
+    let engine = Engine::new(
+        topo,
+        *policy,
+        *spec,
+        script.clone(),
+        RunnerConfig::default(),
+        None,
+    );
+    Ok(engine.run_parts().0)
+}
+
+/// Run the engine with a cascade substrate attached (the
+/// [`crate::cascade`] entry point). The caller has already validated the
+/// policy.
+pub(crate) fn run_engine_with_substrate(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    runner_cfg: RunnerConfig,
+    substrate: SubstrateState,
+) -> (RecoveryReport, SubstrateState) {
+    let engine = Engine::new(
+        topo,
+        *policy,
+        *spec,
+        FaultScript::default(),
+        runner_cfg,
+        Some(substrate),
+    );
+    let (report, sub) = engine.run_parts();
+    (report, sub.expect("substrate passes through the run"))
 }
 
 struct Engine<'t> {
@@ -315,10 +551,20 @@ struct Engine<'t> {
     injected: Vec<bool>,
     /// Transient links awaiting their heal, restored during backoff.
     pending_restores: Vec<LinkId>,
+    /// Substrate cascade driver (power/cooling/optics), when attached.
+    substrate: Option<SubstrateState>,
+    /// A Seer hazard warning is currently live (one proactive checkpoint
+    /// per hazard episode).
+    hazard_latched: bool,
+    /// Iteration of the most recent checkpoint (periodic or proactive).
+    last_checkpoint: u32,
+    /// Wall-clock of the previous iteration (the substrate clock step).
+    last_iter_s: f64,
     // accounting
     iter_useful: Vec<f64>,
     useful_s: f64,
     lost_rollback_s: f64,
+    degraded_s: f64,
     checkpoint_s: f64,
     downtime_s: f64,
     restarts: u32,
@@ -332,6 +578,8 @@ impl<'t> Engine<'t> {
         policy: RecoveryPolicy,
         spec: TrainingJobSpec,
         script: FaultScript,
+        runner_cfg: RunnerConfig,
+        substrate: Option<SubstrateState>,
     ) -> Self {
         let rails = topo.rails() as u32;
         assert!(
@@ -349,7 +597,7 @@ impl<'t> Engine<'t> {
             policy,
             spec,
             script,
-            runner: CollectiveRunner::new(topo, RunnerConfig::default()),
+            runner: CollectiveRunner::new(topo, runner_cfg),
             detector: OnlineDetector::new(OnlineDetectorConfig::default()),
             rng: SimRng::new(spec.seed),
             hosts,
@@ -357,9 +605,14 @@ impl<'t> Engine<'t> {
             spares,
             injected,
             pending_restores: Vec::new(),
+            substrate,
+            hazard_latched: false,
+            last_checkpoint: 0,
+            last_iter_s: spec.comp_s,
             iter_useful: vec![0.0; spec.iters as usize],
             useful_s: 0.0,
             lost_rollback_s: 0.0,
+            degraded_s: 0.0,
             checkpoint_s: 0.0,
             downtime_s: 0.0,
             restarts: 0,
@@ -368,7 +621,7 @@ impl<'t> Engine<'t> {
         }
     }
 
-    fn run(mut self) -> RecoveryReport {
+    fn run_parts(mut self) -> (RecoveryReport, Option<SubstrateState>) {
         let mut it = 0u32;
         let mut attempt = 0u32;
         let mut completed = true;
@@ -377,13 +630,43 @@ impl<'t> Engine<'t> {
             if attempt == 0 {
                 if it > 0 && it.is_multiple_of(self.policy.checkpoint_interval) {
                     self.checkpoint_s += self.policy.checkpoint_cost_s;
+                    self.last_checkpoint = it;
                 }
                 self.inject_due(it);
+                if let Some(forced) = self.substrate_begin_iter(it) {
+                    // The DCIM tripped: a rack crossed the critical
+                    // temperature. Cordon it, repair, restart.
+                    let locate_s = self.policy.detection_overhead_s;
+                    self.downtime_s += locate_s;
+                    let base = Incident {
+                        iter: it,
+                        class: FaultClass::FailSlow,
+                        action: MitigationAction::RestartFromCheckpoint,
+                        retries: 0,
+                        locate_s,
+                        repair_s: 0.0,
+                        blamed: Vec::new(),
+                        cordoned: Vec::new(),
+                    };
+                    let incident = self.restart_with_replacement(base, forced);
+                    let action = incident.action;
+                    self.incidents.push(incident);
+                    if action == MitigationAction::Abort {
+                        completed = false;
+                        break;
+                    }
+                    self.rollback(self.last_checkpoint, it);
+                    it = self.last_checkpoint;
+                    attempt = 0;
+                    continue;
+                }
             }
 
             // One iteration: the computation phase is pure wall-clock
-            // accounting (the net clock only tracks network events), then
-            // the gradient AllReduce runs on the simulator.
+            // accounting (the net clock only tracks network events, and
+            // substrate throttling multiplies the compute time), then the
+            // gradient AllReduce runs on the simulator.
+            let comp_eff = self.effective_comp_s();
             let res = self.runner.all_reduce_flat(&self.group, self.spec.bytes);
             let events = self.runner.sim_mut().drain_flow_events();
             let aborted: Vec<QpId> = events
@@ -393,12 +676,24 @@ impl<'t> Engine<'t> {
                     FlowEvent::Requeued { .. } => None,
                 })
                 .collect();
-            let iter_s = self.spec.comp_s + res.duration.as_secs_f64();
+            let iter_s = comp_eff + res.duration.as_secs_f64();
+            self.last_iter_s = iter_s;
+            // The straggler tax: the slowdown over nominal compute is
+            // degraded time, not useful time (Figure-10 accounting).
+            let degraded_part = (comp_eff - self.spec.comp_s).max(0.0);
+            let useful_part = iter_s - degraded_part;
 
             let alarm = self.detector.observe_iteration(iter_s, aborted.len());
             let Some(alarm) = alarm else {
-                self.iter_useful[it as usize] = iter_s;
-                self.useful_s += iter_s;
+                // Healthy from the network's perspective — but the
+                // physical-layer DCIM may still be alarming on substrate
+                // telemetry (a straggler cascade never aborts a flow).
+                for inc in self.substrate_attend(it) {
+                    self.incidents.push(inc);
+                }
+                self.iter_useful[it as usize] = useful_part;
+                self.useful_s += useful_part;
+                self.degraded_s += degraded_part;
                 it += 1;
                 attempt = 0;
                 continue;
@@ -409,8 +704,9 @@ impl<'t> Engine<'t> {
             // one with failed flows produced nothing.
             let produced = res.failed_flows == 0;
             if produced {
-                self.iter_useful[it as usize] = iter_s;
-                self.useful_s += iter_s;
+                self.iter_useful[it as usize] = useful_part;
+                self.useful_s += useful_part;
+                self.degraded_s += degraded_part;
             } else {
                 self.downtime_s += iter_s;
             }
@@ -436,8 +732,12 @@ impl<'t> Engine<'t> {
 
             let incident = self.recover(it, &alarm, &aborted, attempt);
             let action = incident.action;
-            let rolled_back_to = self.checkpoint_before(it);
+            let class = incident.class;
+            let rolled_back_to = self.last_checkpoint;
             self.incidents.push(incident);
+            if let Some(sub) = self.substrate.as_mut() {
+                sub.note_incident(it, class);
+            }
             match action {
                 MitigationAction::Abort => {
                     completed = false;
@@ -456,19 +756,236 @@ impl<'t> Engine<'t> {
                         attempt += 1;
                     }
                 }
+                // Graceful-degradation actions are applied on healthy
+                // iterations via `substrate_attend`, never returned from
+                // `recover`.
+                MitigationAction::FlowReroute
+                | MitigationAction::PowerCapRideThrough
+                | MitigationAction::MicroBatchRebalance
+                | MitigationAction::ProactiveCheckpoint => unreachable!(),
             }
         }
 
-        RecoveryReport {
+        let report = RecoveryReport {
             completed,
             iters_done: if completed { self.spec.iters } else { 0 },
             useful_s: self.useful_s,
             lost_rollback_s: self.lost_rollback_s,
+            degraded_s: self.degraded_s,
             checkpoint_s: self.checkpoint_s,
             downtime_s: self.downtime_s,
             incidents: self.incidents,
             injections: self.injections,
             solver: self.runner.sim().solver_counters(),
+        };
+        (report, self.substrate)
+    }
+
+    /// Advance the substrate one iteration: inject due faults, kill
+    /// optics-burst uplinks, tick the sag/thermal clocks, run the Seer
+    /// hazard forecast, and surface any forced cordon (a rack past the
+    /// critical inlet temperature that the DCIM pulls out of service).
+    fn substrate_begin_iter(&mut self, it: u32) -> Option<Vec<HostId>> {
+        let mut sub = self.substrate.take()?;
+        let tick = sub.begin_iter(it, self.last_iter_s, &self.hosts);
+        self.fail_optics_batch(&tick.kill_uplinks);
+        let imminent = sub.hazard_imminent(self.policy.seer_lead_iters, self.last_iter_s);
+        if imminent
+            && !self.hazard_latched
+            && self.policy.proactive_checkpoint
+            && it > self.last_checkpoint
+        {
+            // Edge-triggered: one proactive checkpoint per hazard episode.
+            self.checkpoint_s += self.policy.checkpoint_cost_s;
+            self.last_checkpoint = it;
+            self.incidents.push(Incident {
+                iter: it,
+                class: FaultClass::FailSlow,
+                action: MitigationAction::ProactiveCheckpoint,
+                retries: 0,
+                locate_s: 0.0,
+                repair_s: self.policy.checkpoint_cost_s,
+                blamed: Vec::new(),
+                cordoned: Vec::new(),
+            });
+        }
+        self.hazard_latched = imminent;
+        self.substrate = Some(sub);
+        (!tick.forced_cordon.is_empty()).then_some(tick.forced_cordon)
+    }
+
+    /// The DCIM attend path: on a healthy-looking iteration, check for
+    /// pending substrate stress (throttled or power-capped racks whose
+    /// multipliers never cross the network detector's 2× threshold), build
+    /// a full snapshot, let the [`Analyzer`] name the originating
+    /// substrate, and apply the policy's mitigation.
+    fn substrate_attend(&mut self, it: u32) -> Vec<Incident> {
+        if !self.substrate.as_ref().is_some_and(|s| s.stress_pending()) {
+            return Vec::new();
+        }
+        let sub = self.substrate.take().expect("checked above");
+        let snap = self.build_snapshot(it, &sub);
+        let diag = Analyzer::new().diagnose(&snap, self.runner.sim());
+        let locate_s = self.policy.detection_overhead_s;
+        self.downtime_s += locate_s;
+        let mut sub = sub;
+        let engaged = sub.attend(it, diag.cause, self.policy.graceful_degradation);
+        let mut incidents = Vec::new();
+        if self.policy.graceful_degradation && engaged {
+            let action = match diag.cause {
+                CauseClass::Cooling => MitigationAction::FlowReroute,
+                CauseClass::PowerDelivery => MitigationAction::PowerCapRideThrough,
+                _ => MitigationAction::EcmpReroute,
+            };
+            incidents.push(Incident {
+                iter: it,
+                class: FaultClass::FailSlow,
+                action,
+                retries: 0,
+                locate_s,
+                repair_s: 0.0,
+                blamed: Vec::new(),
+                cordoned: Vec::new(),
+            });
+            incidents.push(Incident {
+                iter: it,
+                class: FaultClass::FailSlow,
+                action: MitigationAction::MicroBatchRebalance,
+                retries: 0,
+                locate_s: 0.0,
+                repair_s: 0.0,
+                blamed: Vec::new(),
+                cordoned: Vec::new(),
+            });
+        } else {
+            // Reactive policies have no substrate levers: the only knob is
+            // symptom-level ECMP steering off the hottest links (the
+            // FailSlow ladder), which does nothing for a compute-side
+            // straggler cascade.
+            let hot: Vec<LinkId> = self
+                .runner
+                .sim()
+                .telemetry()
+                .hottest_links_by_ecn(2)
+                .into_iter()
+                .map(|(l, _)| l)
+                .collect();
+            let qps: Vec<QpId> = self
+                .runner
+                .sim()
+                .telemetry()
+                .qp_info
+                .keys()
+                .copied()
+                .collect();
+            for qp in qps {
+                self.steer_qp(qp, &hot);
+            }
+            incidents.push(Incident {
+                iter: it,
+                class: FaultClass::FailSlow,
+                action: MitigationAction::EcmpReroute,
+                retries: 0,
+                locate_s,
+                repair_s: 0.0,
+                blamed: hot,
+                cordoned: Vec::new(),
+            });
+        }
+        self.substrate = Some(sub);
+        incidents
+    }
+
+    /// A full monitoring snapshot of the job: per-rank progress with the
+    /// substrate's compute multipliers folded in, per-host substrate
+    /// telemetry, and harvested network counters.
+    fn build_snapshot(&self, it: u32, sub: &SubstrateState) -> Snapshot {
+        let job = JobDesc {
+            job: 0,
+            hosts: self.hosts.clone(),
+            expected_iters: it.max(1),
+            expected_iter_s: self.detector.baseline_s().unwrap_or(self.last_iter_s),
+        };
+        let mut snap = Snapshot {
+            job: Some(job),
+            ..Snapshot::default()
+        };
+        let comm_s = (self.last_iter_s - self.spec.comp_s).max(0.0);
+        for (i, &h) in self.hosts.iter().enumerate() {
+            snap.ranks.push(RankProgress {
+                gpu: self.group[i],
+                host: h,
+                iters_done: it,
+                ops_done: it as u64 * 100,
+                comp_time_s: self.spec.comp_s * sub.host_multiplier(h),
+                comm_time_s: comm_s,
+                error_log: None,
+            });
+            let telemetry = sub.telemetry(h);
+            let mut health = HostHealth::healthy(h);
+            health.inlet_temp_c = telemetry.inlet_temp_c;
+            health.power_cap_frac = telemetry.power_cap_frac;
+            health.thermal_throttle = telemetry.thermal_throttle;
+            snap.health.push(health);
+        }
+        snap.harvest_network(self.runner.sim());
+        snap
+    }
+
+    /// Per-iteration compute time with the substrate's aggregate
+    /// straggler multiplier applied (1.0 when no substrate is attached).
+    fn effective_comp_s(&self) -> f64 {
+        match &self.substrate {
+            Some(sub) => self.spec.comp_s * sub.aggregate_multiplier(&self.hosts),
+            None => self.spec.comp_s,
+        }
+    }
+
+    /// Hard-fail the uplink `host`'s traffic currently rides (both
+    /// directions) — the optics-burst kill primitive, shared with the
+    /// scripted [`InjectedFault::OpticalUplink`]. Returns the blast
+    /// radius.
+    fn fail_live_uplink(&mut self, host: HostId) -> usize {
+        let now = self.runner.sim().now();
+        let nic = self.topo.host(host).nics[0];
+        let up = self
+            .egress_uplink_in_use(nic)
+            .unwrap_or_else(|| self.topo.out_links(nic)[0]);
+        let down = self
+            .topo
+            .link_between(self.topo.link(up).dst, nic)
+            .expect("duplex");
+        let blast = self.qps_crossing(&[up, down]);
+        self.runner.sim_mut().fail_link_at(now, up);
+        self.runner.sim_mut().fail_link_at(now, down);
+        blast
+    }
+
+    /// Kill a correlated optics batch: the failed modules share one
+    /// switch linecard, so every victim loses its uplink toward the *same*
+    /// ToR (the one the first victim's traffic rides). Each host keeps its
+    /// sibling ToR, so the fabric degrades rather than partitions —
+    /// killing in-use uplinks independently can cut opposite ToR sides of
+    /// adjacent hosts and leave a host pair unroutable under up–down
+    /// routing.
+    fn fail_optics_batch(&mut self, victims: &[HostId]) {
+        let now = self.runner.sim().now();
+        let mut batch_tor: Option<NodeId> = None;
+        for &host in victims {
+            let nic = self.topo.host(host).nics[0];
+            let up = batch_tor
+                .and_then(|tor| self.topo.link_between(nic, tor))
+                .unwrap_or_else(|| {
+                    self.egress_uplink_in_use(nic)
+                        .unwrap_or_else(|| self.topo.out_links(nic)[0])
+                });
+            batch_tor.get_or_insert(self.topo.link(up).dst);
+            let down = self
+                .topo
+                .link_between(self.topo.link(up).dst, nic)
+                .expect("duplex");
+            self.runner.sim_mut().fail_link_at(now, up);
+            self.runner.sim_mut().fail_link_at(now, down);
         }
     }
 
@@ -830,21 +1347,10 @@ impl<'t> Engine<'t> {
                 blast
             }
             InjectedFault::OpticalUplink { host_index, .. } => {
-                let host = self.hosts[host_index % self.hosts.len()];
-                let nic = self.topo.host(host).nics[0];
                 // Kill the side the host's traffic is actually riding, so
                 // the fault manifests regardless of how the QPs hashed.
-                let up = self
-                    .egress_uplink_in_use(nic)
-                    .unwrap_or_else(|| self.topo.out_links(nic)[0]);
-                let down = self
-                    .topo
-                    .link_between(self.topo.link(up).dst, nic)
-                    .expect("duplex");
-                let blast = self.qps_crossing(&[up, down]);
-                self.runner.sim_mut().fail_link_at(now, up);
-                self.runner.sim_mut().fail_link_at(now, down);
-                blast
+                let host = self.hosts[host_index % self.hosts.len()];
+                self.fail_live_uplink(host)
             }
             InjectedFault::HostFailure { host_index, .. } => {
                 let host = self.hosts[host_index % self.hosts.len()];
@@ -874,10 +1380,6 @@ impl<'t> Engine<'t> {
             self.useful_s -= s;
             self.lost_rollback_s += s;
         }
-    }
-
-    fn checkpoint_before(&self, it: u32) -> u32 {
-        it - it % self.policy.checkpoint_interval
     }
 
     fn qp_record(&self, qp: QpId) -> QpRecord {

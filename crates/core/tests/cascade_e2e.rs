@@ -1,0 +1,360 @@
+//! End-to-end cascade tests: substrate faults flowing through the full
+//! recovery lifecycle, graceful degradation vs the reactive ladder, and
+//! campaign-level determinism.
+
+use astral_collectives::RunnerConfig;
+use astral_core::{
+    run_cascade, try_run_cascade, try_run_training, CascadeClass, CascadeScript, FaultCampaign,
+    FaultScript, HazardRates, MitigationAction, PolicyError, RecoveryPolicy, SubstrateFault,
+    TrainingJobSpec,
+};
+use astral_monitor::CauseClass;
+use astral_topo::{build_astral, AstralParams, Topology};
+use proptest::prelude::*;
+
+fn topo() -> Topology {
+    build_astral(&AstralParams::sim_small())
+}
+
+fn cascade_spec() -> TrainingJobSpec {
+    TrainingJobSpec {
+        iters: 24,
+        bytes: 4 << 20,
+        comp_s: 0.2,
+        seed: 11,
+        ..TrainingJobSpec::default()
+    }
+}
+
+/// A policy whose rollback/restart costs make the reactive path visibly
+/// expensive (long checkpoint interval, slow restart).
+fn contrast_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        checkpoint_interval: 10,
+        restart_overhead_s: 1.0,
+        ..RecoveryPolicy::default()
+    }
+}
+
+fn pump_script() -> CascadeScript {
+    CascadeScript {
+        faults: vec![SubstrateFault::CoolingPumpFault {
+            at_iter: 3,
+            row: 0,
+            flow_frac: 0.4,
+        }],
+    }
+}
+
+#[test]
+fn unmitigated_cooling_cascade_ends_in_cordon_and_restart() {
+    let t = topo();
+    let policy = RecoveryPolicy {
+        graceful_degradation: false,
+        proactive_checkpoint: false,
+        ..contrast_policy()
+    };
+    let r = run_cascade(&t, &policy, &cascade_spec(), &pump_script());
+    assert!(
+        r.recovery.completed,
+        "incidents: {:?}",
+        r.recovery.incidents
+    );
+    // The cascade escalated: a rack crossed CRITICAL_C, the DCIM cordoned
+    // it, and the job rolled back to its checkpoint.
+    assert!(
+        r.recovery
+            .incidents
+            .iter()
+            .any(|i| i.action == MitigationAction::RestartFromCheckpoint && !i.cordoned.is_empty()),
+        "expected a forced cordon restart, got {:?}",
+        r.recovery.incidents
+    );
+    assert!(r.recovery.lost_rollback_s > 0.0);
+    // No graceful levers on a reactive policy.
+    assert!(r.recovery.incidents.iter().all(|i| !matches!(
+        i.action,
+        MitigationAction::FlowReroute
+            | MitigationAction::PowerCapRideThrough
+            | MitigationAction::MicroBatchRebalance
+            | MitigationAction::ProactiveCheckpoint
+    )));
+    let goodput = r.recovery.goodput();
+    assert!(goodput < 0.8, "reactive goodput {goodput} not degraded");
+    // The analyzer still names the originating substrate.
+    assert_eq!(r.attributions.len(), 1);
+    assert_eq!(r.attributions[0].diagnosed, Some(CauseClass::Cooling));
+    assert!(r.attributions[0].correct());
+}
+
+#[test]
+fn graceful_degradation_rides_out_the_cooling_cascade() {
+    let t = topo();
+    let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &pump_script());
+    assert!(
+        r.recovery.completed,
+        "incidents: {:?}",
+        r.recovery.incidents
+    );
+    // Flow reroute + thermal cap + rebalance held the row below critical:
+    // no cordon, no rollback.
+    assert!(r
+        .recovery
+        .incidents
+        .iter()
+        .any(|i| i.action == MitigationAction::FlowReroute));
+    assert!(r
+        .recovery
+        .incidents
+        .iter()
+        .any(|i| i.action == MitigationAction::MicroBatchRebalance));
+    assert!(r.recovery.incidents.iter().all(|i| i.cordoned.is_empty()));
+    assert_eq!(r.recovery.lost_rollback_s, 0.0);
+    // Throttled compute shows up as degraded time, not hidden in useful.
+    assert!(r.recovery.degraded_s > 0.0);
+    let goodput = r.recovery.goodput();
+    assert!(goodput > 0.8, "graceful goodput {goodput} too low");
+    assert_eq!(r.attributions[0].diagnosed, Some(CauseClass::Cooling));
+}
+
+#[test]
+fn graceful_beats_reactive_on_the_same_cascade() {
+    let t = topo();
+    let reactive = RecoveryPolicy {
+        graceful_degradation: false,
+        proactive_checkpoint: false,
+        ..contrast_policy()
+    };
+    let a = run_cascade(&t, &reactive, &cascade_spec(), &pump_script());
+    let b = run_cascade(&t, &contrast_policy(), &cascade_spec(), &pump_script());
+    assert!(
+        b.recovery.goodput() > a.recovery.goodput(),
+        "graceful {} ≤ reactive {}",
+        b.recovery.goodput(),
+        a.recovery.goodput()
+    );
+}
+
+#[test]
+fn power_cascade_caps_after_ride_through_and_is_attributed() {
+    let t = topo();
+    let script = CascadeScript {
+        faults: vec![SubstrateFault::GridSag {
+            at_iter: 4,
+            row: 1,
+            supply_frac: 0.6,
+            duration_iters: 14,
+            battery_wh_per_rack: 8.0,
+        }],
+    };
+    let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &script);
+    assert!(
+        r.recovery.completed,
+        "incidents: {:?}",
+        r.recovery.incidents
+    );
+    assert!(
+        r.recovery
+            .incidents
+            .iter()
+            .any(|i| i.action == MitigationAction::PowerCapRideThrough),
+        "expected a ride-through, got {:?}",
+        r.recovery.incidents
+    );
+    assert!(r.recovery.degraded_s > 0.0, "caps never throttled compute");
+    assert_eq!(r.attributions.len(), 1);
+    assert_eq!(r.attributions[0].class, CascadeClass::Power);
+    assert_eq!(r.attributions[0].diagnosed, Some(CauseClass::PowerDelivery));
+}
+
+#[test]
+fn a_generous_battery_absorbs_the_sag_without_a_trace() {
+    let t = topo();
+    let script = CascadeScript {
+        faults: vec![SubstrateFault::GridSag {
+            at_iter: 4,
+            row: 1,
+            supply_frac: 0.6,
+            duration_iters: 8,
+            battery_wh_per_rack: 200.0,
+        }],
+    };
+    let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &script);
+    assert!(r.recovery.completed);
+    // The battery rode the whole deficit: the cap never engaged, compute
+    // never slowed, and there was nothing to diagnose.
+    assert!(
+        r.recovery.incidents.is_empty(),
+        "{:?}",
+        r.recovery.incidents
+    );
+    assert_eq!(r.recovery.degraded_s, 0.0);
+    assert!(r.attributions.is_empty());
+}
+
+#[test]
+fn optics_burst_flows_through_the_abort_path() {
+    let t = topo();
+    let script = CascadeScript {
+        faults: vec![SubstrateFault::OpticsBurst {
+            at_iter: 5,
+            links: 2,
+        }],
+    };
+    let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &script);
+    assert!(
+        r.recovery.completed,
+        "incidents: {:?}",
+        r.recovery.incidents
+    );
+    assert_eq!(r.attributions.len(), 1);
+    assert_eq!(r.attributions[0].class, CascadeClass::Optics);
+    assert_eq!(r.attributions[0].diagnosed, Some(CauseClass::NicOrLink));
+    assert!(r.attributions[0].blast_hosts >= 2);
+}
+
+#[test]
+fn seer_gate_takes_a_proactive_checkpoint_during_the_ramp() {
+    let t = topo();
+    // Reactive mitigation ladder, but with the Seer gate on: the forecast
+    // fires during the temperature ramp, so the eventual forced cordon
+    // rolls back to a checkpoint taken iterations — not tens of
+    // iterations — earlier.
+    let policy = RecoveryPolicy {
+        graceful_degradation: false,
+        ..contrast_policy()
+    };
+    let r = run_cascade(&t, &policy, &cascade_spec(), &pump_script());
+    assert!(
+        r.recovery.completed,
+        "incidents: {:?}",
+        r.recovery.incidents
+    );
+    let proactive: Vec<u32> = r
+        .recovery
+        .incidents
+        .iter()
+        .filter(|i| i.action == MitigationAction::ProactiveCheckpoint)
+        .map(|i| i.iter)
+        .collect();
+    assert!(!proactive.is_empty(), "forecast never fired");
+    let cordon_iter = r
+        .recovery
+        .incidents
+        .iter()
+        .find(|i| !i.cordoned.is_empty())
+        .map(|i| i.iter)
+        .expect("reactive ladder still ends in a cordon");
+    assert!(proactive.iter().all(|&p| p <= cordon_iter));
+    // Less work lost than the gate-less reactive run.
+    let gateless = RecoveryPolicy {
+        proactive_checkpoint: false,
+        ..policy
+    };
+    let r0 = run_cascade(&t, &gateless, &cascade_spec(), &pump_script());
+    assert!(
+        r.recovery.lost_rollback_s < r0.recovery.lost_rollback_s,
+        "proactive {} ≥ gateless {}",
+        r.recovery.lost_rollback_s,
+        r0.recovery.lost_rollback_s
+    );
+}
+
+#[test]
+fn invalid_policies_are_rejected_up_front() {
+    let t = topo();
+    let spec = cascade_spec();
+    let cases: Vec<(RecoveryPolicy, PolicyError)> = vec![
+        (
+            RecoveryPolicy {
+                checkpoint_interval: 0,
+                ..RecoveryPolicy::default()
+            },
+            PolicyError::ZeroCheckpointInterval,
+        ),
+        (
+            RecoveryPolicy {
+                retry_budget: 0,
+                ..RecoveryPolicy::default()
+            },
+            PolicyError::ZeroRetryBudget,
+        ),
+        (
+            RecoveryPolicy {
+                restart_overhead_s: f64::NAN,
+                ..RecoveryPolicy::default()
+            },
+            PolicyError::BadCost {
+                field: "restart_overhead_s",
+                value: f64::NAN,
+            },
+        ),
+        (
+            RecoveryPolicy {
+                degraded_bw_floor: 1.5,
+                ..RecoveryPolicy::default()
+            },
+            PolicyError::BwFloorOutOfRange { value: 1.5 },
+        ),
+        (
+            RecoveryPolicy {
+                seer_lead_iters: 0,
+                ..RecoveryPolicy::default()
+            },
+            PolicyError::ZeroSeerLead,
+        ),
+    ];
+    let same = |got: PolicyError, want: PolicyError| match (got, want) {
+        // NaN costs never compare equal by value; match on the field.
+        (PolicyError::BadCost { field: f1, .. }, PolicyError::BadCost { field: f2, .. }) => {
+            assert_eq!(f1, f2)
+        }
+        (e, x) => assert_eq!(e, x),
+    };
+    for (policy, expected) in cases {
+        let err = try_run_training(&t, &policy, &spec, &FaultScript::default())
+            .expect_err("policy must be rejected");
+        same(err, expected);
+        let err = try_run_cascade(
+            &t,
+            &policy,
+            &spec,
+            &CascadeScript::default(),
+            RunnerConfig::default(),
+        )
+        .expect_err("cascade runner shares the validation");
+        same(err, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Identical campaign seeds produce byte-identical reports — across
+    /// repeated runs *and* across the incremental vs full-rebuild rate
+    /// solvers (whose counters are excluded from the fingerprint).
+    #[test]
+    fn campaign_reports_are_byte_identical_across_runs_and_solvers(seed in 0u64..1000) {
+        let t = topo();
+        let spec = TrainingJobSpec { iters: 18, bytes: 2 << 20, comp_s: 0.2, seed, ..TrainingJobSpec::default() };
+        let campaign = FaultCampaign {
+            scripted: CascadeScript::default(),
+            hazards: HazardRates { grid_sag: 0.05, pump: 0.05, optics: 0.04 },
+            horizon_iters: spec.iters,
+            seed,
+        };
+        let script = campaign.materialize();
+        prop_assert_eq!(
+            format!("{:?}", script.faults),
+            format!("{:?}", campaign.materialize().faults)
+        );
+        let policy = RecoveryPolicy::default();
+        let a = try_run_cascade(&t, &policy, &spec, &script, RunnerConfig::default()).unwrap();
+        let b = try_run_cascade(&t, &policy, &spec, &script, RunnerConfig::default()).unwrap();
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut full = RunnerConfig::default();
+        full.net.incremental_solver = false;
+        let c = try_run_cascade(&t, &policy, &spec, &script, full).unwrap();
+        prop_assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -62,6 +62,11 @@ pub struct AnalyzerConfig {
     pub hop_delay_threshold_us: f64,
     /// Iteration time above `expected × this` counts as slow.
     pub slow_iter_factor: f64,
+    /// Rack inlet temperature above which the cooling substrate is
+    /// suspect (supply air should sit near the low twenties).
+    pub inlet_alarm_c: f64,
+    /// Power cap fraction below which the power substrate is suspect.
+    pub power_cap_alarm_frac: f64,
 }
 
 impl Default for AnalyzerConfig {
@@ -71,6 +76,8 @@ impl Default for AnalyzerConfig {
             slow_qp_frac: 0.5,
             hop_delay_threshold_us: 100.0,
             slow_iter_factor: 1.15,
+            inlet_alarm_c: 32.0,
+            power_cap_alarm_frac: 0.995,
         }
     }
 }
@@ -119,6 +126,17 @@ impl Analyzer {
         // a hang or stop.
         if !snap.err_cqe.is_empty() {
             return self.branch_comm_errcqe(snap, manifestation, evidence, queries);
+        }
+
+        // ---- Substrate drill-down: correlated power/cooling evidence ----
+        // A substrate cascade manifests as stragglers on *every* host of
+        // one rack row; horizontal comparison alone would blame "software"
+        // (many hosts anomalous at once) or the straggler itself. The
+        // physical layer disambiguates: shared thermal or power-cap
+        // telemetry names the originating substrate, not the symptom.
+        queries += snap.health.len() as u32;
+        if let Some(d) = self.branch_substrate(snap, manifestation, &mut evidence, &mut queries) {
+            return d;
         }
 
         let slow_qps: Vec<_> = snap
@@ -232,6 +250,71 @@ impl Analyzer {
                 }
             }
         }
+    }
+
+    /// The power/cooling drill-down: when hosts carry substrate telemetry
+    /// (elevated inlets / thermal throttle / power caps), the diagnosis is
+    /// the substrate itself. Cooling wins over power when both fire on the
+    /// same window with more hosts affected (a pump fault heats the whole
+    /// row; a grid sag caps the whole row — ties go to the hotter signal,
+    /// thermal throttle, because caps are often *consequences* of thermal
+    /// mitigation elsewhere).
+    fn branch_substrate(
+        &self,
+        snap: &Snapshot,
+        manifestation: Manifestation,
+        evidence: &mut Vec<String>,
+        queries: &mut u32,
+    ) -> Option<Diagnosis> {
+        let mut hot: Vec<(HostId, f64)> = snap
+            .health
+            .iter()
+            .filter(|h| h.thermal_throttle || h.inlet_temp_c > self.cfg.inlet_alarm_c)
+            .map(|h| (h.host, h.inlet_temp_c))
+            .collect();
+        let mut capped: Vec<(HostId, f64)> = snap
+            .health
+            .iter()
+            .filter(|h| h.power_cap_frac < self.cfg.power_cap_alarm_frac)
+            .map(|h| (h.host, h.power_cap_frac))
+            .collect();
+        if hot.is_empty() && capped.is_empty() {
+            return None;
+        }
+        *queries += 1;
+        if hot.len() >= capped.len() && !hot.is_empty() {
+            hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let (hottest, temp) = hot[0];
+            evidence.push(format!(
+                "physical layer: {} host(s) with inlet above {:.0} °C or thermal throttle engaged \
+                 (hottest {hottest} at {temp:.1} °C) — shared cooling substrate, \
+                 not per-host compute",
+                hot.len(),
+                self.cfg.inlet_alarm_c,
+            ));
+            return Some(Diagnosis {
+                manifestation,
+                cause: CauseClass::Cooling,
+                culprit: Culprit::Host(hottest),
+                evidence: std::mem::take(evidence),
+                queries: *queries,
+            });
+        }
+        capped.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (deepest, cap) = capped[0];
+        evidence.push(format!(
+            "physical layer: {} host(s) power-capped (deepest {deepest} at {:.0}% of nominal) — \
+             HVDC row supply-limited past its battery ride-through",
+            capped.len(),
+            cap * 100.0,
+        ));
+        Some(Diagnosis {
+            manifestation,
+            cause: CauseClass::PowerDelivery,
+            culprit: Culprit::Host(deepest),
+            evidence: std::mem::take(evidence),
+            queries: *queries,
+        })
     }
 
     fn detect_manifestation(&self, snap: &Snapshot, evidence: &mut Vec<String>) -> Manifestation {
@@ -629,5 +712,47 @@ mod tests {
         assert_eq!(d.manifestation, Manifestation::FailStop);
         assert_eq!(d.cause, CauseClass::NicOrLink);
         assert_eq!(d.culprit, Culprit::Switch(NodeId(100)));
+    }
+
+    #[test]
+    fn row_wide_thermal_throttle_is_cooling_not_software() {
+        // Eight stragglers would normally trip the "multi-host → software"
+        // heuristic; the substrate branch must claim them first because
+        // every one of them carries cooling-substrate telemetry.
+        let mut snap = base_snapshot(16);
+        for i in 0..8usize {
+            snap.ranks[i].comp_time_s = 2.0;
+            snap.health[i].inlet_temp_c = 38.0 + i as f64;
+            snap.health[i].thermal_throttle = true;
+        }
+        let d = Analyzer::new().diagnose(&snap, &CannedProber::default());
+        assert_eq!(d.cause, CauseClass::Cooling);
+        assert_eq!(d.culprit, Culprit::Host(HostId(7)), "hottest inlet wins");
+        assert!(d.evidence.iter().any(|e| e.contains("cooling substrate")));
+    }
+
+    #[test]
+    fn row_wide_power_cap_is_power_delivery() {
+        let mut snap = base_snapshot(16);
+        for i in 0..8usize {
+            snap.ranks[i].comp_time_s = 1.6;
+            snap.health[i].power_cap_frac = 0.7 - 0.01 * (i % 4) as f64;
+        }
+        let d = Analyzer::new().diagnose(&snap, &CannedProber::default());
+        assert_eq!(d.cause, CauseClass::PowerDelivery);
+        assert_eq!(d.culprit, Culprit::Host(HostId(3)), "deepest cap wins");
+        assert!(d.evidence.iter().any(|e| e.contains("ride-through")));
+    }
+
+    #[test]
+    fn wider_substrate_signal_wins_when_both_fire() {
+        let mut snap = base_snapshot(16);
+        for i in 0..6usize {
+            snap.health[i].inlet_temp_c = 40.0;
+            snap.health[i].thermal_throttle = true;
+        }
+        snap.health[10].power_cap_frac = 0.5;
+        let d = Analyzer::new().diagnose(&snap, &CannedProber::default());
+        assert_eq!(d.cause, CauseClass::Cooling, "6 hot hosts > 1 capped host");
     }
 }

@@ -60,6 +60,14 @@ pub struct HostHealth {
     pub gpu_xid: Option<u32>,
     /// PCIe link trained below its rated width/generation.
     pub pcie_degraded: bool,
+    /// Rack inlet air temperature, °C (cooling substrate telemetry).
+    pub inlet_temp_c: f64,
+    /// Active rack power cap as a fraction of nominal (1.0 = uncapped;
+    /// below 1.0 the HVDC row is supply-limited — power substrate
+    /// telemetry).
+    pub power_cap_frac: f64,
+    /// GPUs on this host are thermally throttling (DVFS clamp engaged).
+    pub thermal_throttle: bool,
     /// Environment / container configuration check passed.
     pub env_ok: bool,
     /// Installed driver version.
@@ -77,6 +85,9 @@ impl HostHealth {
             ecc_errors: 0,
             gpu_xid: None,
             pcie_degraded: false,
+            inlet_temp_c: 22.0,
+            power_cap_frac: 1.0,
+            thermal_throttle: false,
             env_ok: true,
             driver_version: "535.161.08".into(),
             nccl_version: "2.21.5".into(),

@@ -65,6 +65,14 @@ pub enum RootCause {
     Memory,
     /// Link flapping (2%).
     LinkFlap,
+    /// Power-delivery substrate fault: grid sag / HVDC rectifier trip
+    /// forcing a rack power cap (§2.2). Not part of Figure 7's
+    /// network-centric distribution; injected by cascade campaigns.
+    PowerDelivery,
+    /// Cooling substrate fault: pump/CDU degradation raising inlet
+    /// temperatures until GPUs thermally throttle (§2.2). Not part of
+    /// Figure 7's distribution; injected by cascade campaigns.
+    CoolingSystem,
 }
 
 impl fmt::Display for RootCause {
@@ -81,14 +89,20 @@ impl fmt::Display for RootCause {
             RootCause::GpuHardware => "GPU Hardware",
             RootCause::Memory => "Memory",
             RootCause::LinkFlap => "Link Flap",
+            RootCause::PowerDelivery => "Power Delivery",
+            RootCause::CoolingSystem => "Cooling System",
         };
         write!(f, "{s}")
     }
 }
 
-/// All root causes with the production shares of Figure 7.
+/// All root causes with the production shares of Figure 7, normalized to a
+/// proper probability distribution (the paper's printed shares total 101%
+/// from rounding; each weight here is `share / 1.01` so the array sums to
+/// exactly 1.0). The power/cooling substrate causes are absent on purpose:
+/// Figure 7 counts network-visible incidents only.
 pub fn root_cause_distribution() -> [(RootCause, f64); 11] {
-    [
+    const PAPER_SHARES: [(RootCause, f64); 11] = [
         (RootCause::HostEnvConfig, 0.32),
         (RootCause::NicError, 0.15),
         (RootCause::UserCode, 0.14),
@@ -100,7 +114,9 @@ pub fn root_cause_distribution() -> [(RootCause, f64); 11] {
         (RootCause::GpuHardware, 0.02),
         (RootCause::Memory, 0.02),
         (RootCause::LinkFlap, 0.02),
-    ]
+    ];
+    let total: f64 = PAPER_SHARES.iter().map(|&(_, s)| s).sum();
+    PAPER_SHARES.map(|(c, s)| (c, s / total))
 }
 
 impl RootCause {
@@ -146,6 +162,9 @@ impl RootCause {
                     Manifestation::FailHang
                 }
             }
+            // Substrate faults degrade before they kill: power caps and
+            // thermal throttles surface as stragglers first.
+            RootCause::PowerDelivery | RootCause::CoolingSystem => Manifestation::FailSlow,
         }
     }
 
@@ -160,6 +179,8 @@ impl RootCause {
             RootCause::UserCode | RootCause::CclBug => CauseClass::SoftwareOrUserCode,
             RootCause::SwitchConfig | RootCause::SwitchBug => CauseClass::SwitchOrFabric,
             RootCause::GpuHardware | RootCause::Memory => CauseClass::GpuHardware,
+            RootCause::PowerDelivery => CauseClass::PowerDelivery,
+            RootCause::CoolingSystem => CauseClass::Cooling,
         }
     }
 }
@@ -181,6 +202,12 @@ pub enum CauseClass {
     PcieBottleneck,
     /// Fabric congestion (ECMP collisions) without a hardware fault.
     Congestion,
+    /// The power-delivery substrate: a rack power cap is throttling GPUs
+    /// (grid sag past the battery ride-through window).
+    PowerDelivery,
+    /// The cooling substrate: elevated inlet temperatures are thermally
+    /// throttling GPUs (pump/CDU degradation).
+    Cooling,
     /// The analyzer could not identify a cause.
     Unknown,
 }
@@ -195,6 +222,8 @@ impl fmt::Display for CauseClass {
             CauseClass::SwitchOrFabric => "switch/fabric",
             CauseClass::PcieBottleneck => "PCIe drain bottleneck",
             CauseClass::Congestion => "congestion",
+            CauseClass::PowerDelivery => "power delivery",
+            CauseClass::Cooling => "cooling",
             CauseClass::Unknown => "unknown",
         };
         write!(f, "{s}")
@@ -208,9 +237,21 @@ mod tests {
     #[test]
     fn distributions_sum_to_one() {
         let m: f64 = manifestation_distribution().iter().map(|&(_, p)| p).sum();
-        assert!((m - 1.0).abs() < 1e-9);
+        assert!((m - 1.0).abs() < 1e-9, "manifestations sum to {m}");
         let r: f64 = root_cause_distribution().iter().map(|&(_, p)| p).sum();
-        assert!((r - 1.01).abs() < 0.011, "paper shares sum to ~101%: {r}");
+        assert!((r - 1.0).abs() < 1e-9, "root causes sum to {r}");
+    }
+
+    #[test]
+    fn distribution_preserves_paper_share_ratios() {
+        // Normalization must not reorder or reweight: HostEnvConfig is 32%
+        // of the paper's 101% total and the largest entry.
+        let dist = root_cause_distribution();
+        assert_eq!(dist[0].0, RootCause::HostEnvConfig);
+        assert!((dist[0].1 - 0.32 / 1.01).abs() < 1e-12);
+        for w in dist.windows(2) {
+            assert!(w[0].1 >= w[1].1, "shares must stay sorted descending");
+        }
     }
 
     #[test]
@@ -225,6 +266,21 @@ mod tests {
         }
         let frac = host_env as f64 / n as f64;
         assert!((frac - 0.32 / 1.01).abs() < 0.01, "host env frac {frac}");
+    }
+
+    #[test]
+    fn substrate_causes_map_to_their_substrate_classes() {
+        assert_eq!(RootCause::PowerDelivery.class(), CauseClass::PowerDelivery);
+        assert_eq!(RootCause::CoolingSystem.class(), CauseClass::Cooling);
+        // And stay out of the Figure-7 distribution.
+        assert!(!root_cause_distribution()
+            .iter()
+            .any(|&(c, _)| c == RootCause::PowerDelivery || c == RootCause::CoolingSystem));
+        let mut rng = SimRng::new(3);
+        assert_eq!(
+            RootCause::PowerDelivery.typical_manifestation(&mut rng),
+            Manifestation::FailSlow
+        );
     }
 
     #[test]

@@ -15,6 +15,6 @@ mod hvdc;
 mod renewable;
 mod trace;
 
-pub use hvdc::{HvdcUnit, PowerChain, RackPower};
+pub use hvdc::{HvdcUnit, PowerChain, PowerError, RackPower};
 pub use renewable::{co2_avoided_kg, paper_renewable_kwh, RenewableFleet, GRID_KG_CO2_PER_KWH};
 pub use trace::{peak_over_tdp, power_trace, DailyLoadModel, PowerIntensity};

@@ -1,0 +1,203 @@
+//! Substrate hazard forecasting: Seer's short-horizon trend extrapolation.
+//!
+//! The cascade engine feeds Seer a rolling window of substrate stress
+//! telemetry (rack inlet temperature, power-cap depth) and asks one
+//! question: *when does this trend cross the damage threshold?* The answer
+//! gates proactive mitigation — a checkpoint taken a few iterations before
+//! a forced cordon is vastly cheaper than rolling back to one taken long
+//! before the cascade started.
+//!
+//! The forecaster is deliberately simple: a linear least-squares fit
+//! ([`astral_sim::polyfit`] at degree 1) over the most recent window.
+//! Substrate excursions in the cascade model are first-order lags toward a
+//! step target, so a short linear window tracks the rising edge well — and
+//! the same self-correcting philosophy as Seer's throughput calibration
+//! applies: fit measurements, don't model physics twice.
+
+use astral_sim::polyfit;
+
+/// A rolling-window linear-trend forecaster for one substrate stress
+/// signal.
+#[derive(Debug, Clone)]
+pub struct HazardForecaster {
+    /// The damage threshold in the signal's own units (e.g. 45 °C inlet,
+    /// or 0.85 cap-fraction-deficit).
+    threshold: f64,
+    /// True when crossing means the signal *rises* through the threshold;
+    /// false for falling signals (e.g. power cap fraction dropping).
+    rising: bool,
+    /// Max samples retained (older samples fall off).
+    window: usize,
+    /// `(iteration, value)` samples, oldest first.
+    samples: Vec<(f64, f64)>,
+}
+
+impl HazardForecaster {
+    /// A forecaster for a signal that *rises* into danger (temperatures).
+    pub fn rising(threshold: f64, window: usize) -> Self {
+        HazardForecaster {
+            threshold,
+            rising: true,
+            window: window.max(2),
+            samples: Vec::new(),
+        }
+    }
+
+    /// A forecaster for a signal that *falls* into danger (power cap
+    /// fraction).
+    pub fn falling(threshold: f64, window: usize) -> Self {
+        HazardForecaster {
+            threshold,
+            rising: false,
+            window: window.max(2),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Record one observation at (fractional) iteration `iter`.
+    pub fn observe(&mut self, iter: f64, value: f64) {
+        if !iter.is_finite() || !value.is_finite() {
+            return;
+        }
+        self.samples.push((iter, value));
+        if self.samples.len() > self.window {
+            let excess = self.samples.len() - self.window;
+            self.samples.drain(..excess);
+        }
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Forget all samples (call after a mitigation resets the substrate).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Predicted iteration at which the fitted trend crosses the
+    /// threshold, or `None` when the trend is flat/receding or the window
+    /// is too short to fit. A signal already past the threshold returns
+    /// the latest sample's iteration.
+    pub fn predicted_crossing(&self) -> Option<f64> {
+        let (last_iter, last_val) = *self.samples.last()?;
+        let past = if self.rising {
+            last_val >= self.threshold
+        } else {
+            last_val <= self.threshold
+        };
+        if past {
+            return Some(last_iter);
+        }
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = self.samples.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = self.samples.iter().map(|&(_, y)| y).collect();
+        let line = polyfit(&xs, &ys, 1).ok()?;
+        let slope = line.coeffs()[1];
+        let toward_danger = if self.rising {
+            slope > 1e-12
+        } else {
+            slope < -1e-12
+        };
+        if !toward_danger {
+            return None;
+        }
+        let cross = (self.threshold - line.coeffs()[0]) / slope;
+        (cross.is_finite() && cross >= last_iter).then_some(cross)
+    }
+
+    /// True when the predicted crossing falls within `lead` iterations of
+    /// the latest sample — the "act now" signal for proactive mitigation.
+    pub fn imminent(&self, lead: f64) -> bool {
+        match (self.predicted_crossing(), self.samples.last()) {
+            (Some(cross), Some(&(last_iter, _))) => cross - last_iter <= lead,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rising_trend_predicts_the_crossing_iteration() {
+        // temp = 22 + 2·iter crosses 45 °C at iter 11.5.
+        let mut f = HazardForecaster::rising(45.0, 8);
+        for it in 0..6 {
+            f.observe(it as f64, 22.0 + 2.0 * it as f64);
+        }
+        let cross = f.predicted_crossing().expect("trend rises");
+        assert!((cross - 11.5).abs() < 1e-6, "crossing at {cross}");
+        assert!(!f.imminent(3.0));
+        assert!(f.imminent(7.0));
+    }
+
+    #[test]
+    fn flat_or_cooling_trend_is_no_hazard() {
+        let mut f = HazardForecaster::rising(45.0, 8);
+        for it in 0..6 {
+            f.observe(it as f64, 30.0 - 0.5 * it as f64);
+        }
+        assert_eq!(f.predicted_crossing(), None);
+        assert!(!f.imminent(1e9));
+    }
+
+    #[test]
+    fn falling_signal_crosses_downward() {
+        // cap = 1.0 − 0.05·iter crosses 0.8 at iter 4.
+        let mut f = HazardForecaster::falling(0.8, 8);
+        for it in 0..3 {
+            f.observe(it as f64, 1.0 - 0.05 * it as f64);
+        }
+        let cross = f.predicted_crossing().expect("cap falls");
+        assert!((cross - 4.0).abs() < 1e-6, "crossing at {cross}");
+    }
+
+    #[test]
+    fn already_past_threshold_reports_now() {
+        let mut f = HazardForecaster::rising(45.0, 8);
+        f.observe(10.0, 50.0);
+        assert_eq!(f.predicted_crossing(), Some(10.0));
+        assert!(f.imminent(0.0));
+    }
+
+    #[test]
+    fn window_slides_and_reset_clears() {
+        let mut f = HazardForecaster::rising(45.0, 4);
+        // A long cold history followed by a hot ramp: only the window
+        // (last 4 samples, all ramping) should drive the fit.
+        for it in 0..20 {
+            f.observe(it as f64, 22.0);
+        }
+        for it in 20..24 {
+            f.observe(it as f64, 22.0 + 3.0 * (it - 19) as f64);
+        }
+        assert_eq!(f.len(), 4);
+        assert!(f.predicted_crossing().is_some(), "ramp dominates window");
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.predicted_crossing(), None);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut f = HazardForecaster::rising(45.0, 8);
+        f.observe(f64::NAN, 30.0);
+        f.observe(0.0, f64::INFINITY);
+        assert!(f.is_empty());
+    }
+}

@@ -33,6 +33,7 @@
 
 mod basic;
 mod calibrate;
+mod hazard;
 mod pricer;
 mod suites;
 mod testbed;
@@ -41,6 +42,7 @@ mod truth;
 
 pub use basic::{t_addition, t_dp_comm, t_mem, t_multiplication, t_pp_comm, t_tp_comm};
 pub use calibrate::{fit_curve, Calibration, CommKind, CommScope, EfficiencyCurve};
+pub use hazard::HazardForecaster;
 pub use pricer::{scope_of, span_of, ModelPricer, SeerConfig};
 pub use suites::{CrossDcSpec, GpuSpec, NetworkSpec};
 pub use testbed::Testbed;
