@@ -5,8 +5,8 @@
 //! deviate more due to unpredictable expert selection.
 
 use astral_bench::Scenario;
-use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
-use astral_seer::{Calibration, GpuSpec, NetworkSpec, Seer, SeerConfig, Testbed};
+use astral_model::{ModelConfig, ParallelismConfig};
+use astral_seer::{run_grid, GpuSpec, GridPoint, NetworkSpec, Testbed};
 use astral_topo::{build_astral, AstralParams};
 
 /// Scale a template model down to simulation size, keeping its character.
@@ -80,51 +80,42 @@ fn main() {
         "{:<24}{:>14}{:>14}{:>12}{:>12}",
         "model", "testbed (s)", "seer (s)", "basic dev", "calib dev"
     );
+    // The four model points are independent (testbed execution + two
+    // forecasts each): fan them out as a grid on the ASTRAL_THREADS pool.
+    let points: Vec<GridPoint> = models
+        .iter()
+        .map(|(label, model)| {
+            let mut p = par;
+            if model.is_moe() {
+                p.ep = 4;
+            }
+            GridPoint {
+                label: label.to_string(),
+                model: model.clone(),
+                par: p,
+            }
+        })
+        .collect();
+    let outcomes = run_grid(&topo, &GpuSpec::h100(), &net, &cal, &points);
     let mut rows = Vec::new();
-    for (label, model) in &models {
-        let mut p = par;
-        if model.is_moe() {
-            p.ep = 4;
-        }
-        let graph = build_training_iteration(model, &p);
-        let reference = testbed.execute(&graph, &p);
-        let basic = Seer::new(SeerConfig {
-            gpu: GpuSpec::h100(),
-            net: net.clone(),
-            calibration: Calibration::ideal(),
-        })
-        .forecast_graph(&graph, &p);
-        let calibrated = Seer::new(SeerConfig {
-            gpu: GpuSpec::h100(),
-            net: net.clone(),
-            calibration: cal.clone(),
-        })
-        .forecast_graph(&graph, &p);
-        let dev_b = basic.deviation_vs(&reference) * 100.0;
-        let dev_c = calibrated.deviation_vs(&reference) * 100.0;
+    for o in &outcomes {
+        let dev_b = o.basic_dev * 100.0;
+        let dev_c = o.calibrated_dev * 100.0;
         println!(
             "{:<24}{:>14.4}{:>14.4}{:>11.1}%{:>11.1}%",
-            label,
-            reference.total.as_secs_f64(),
-            calibrated.total.as_secs_f64(),
+            o.label,
+            o.testbed.total.as_secs_f64(),
+            o.calibrated.total.as_secs_f64(),
             dev_b,
             dev_c
         );
-        rows.push((*label, dev_c));
+        rows.push((o.label.clone(), dev_c));
     }
 
     // Timeline overlay for the Hunyuan-like model: top operator families.
-    let (label, model) = &models[0];
-    let mut p = par;
-    p.ep = 4;
-    let graph = build_training_iteration(model, &p);
-    let reference = testbed.execute(&graph, &p);
-    let calibrated = Seer::new(SeerConfig {
-        gpu: GpuSpec::h100(),
-        net: net.clone(),
-        calibration: cal.clone(),
-    })
-    .forecast_graph(&graph, &p);
+    let label = &outcomes[0].label;
+    let reference = &outcomes[0].testbed;
+    let calibrated = &outcomes[0].calibrated;
     println!("\nper-operator-family timeline comparison ({label}):");
     println!("{:<28}{:>12}{:>12}", "operator family", "testbed", "seer");
     let seer_fam: std::collections::HashMap<String, f64> =
@@ -138,8 +129,7 @@ fn main() {
         );
     }
 
-    let dev_rows: Vec<(String, f64)> = rows.iter().map(|&(l, d)| (l.to_string(), d)).collect();
-    sc.series("calibrated_deviation_pct_by_model", &dev_rows);
+    sc.series("calibrated_deviation_pct_by_model", &rows);
     sc.metric("llama2_deviation_pct", rows[1].1);
     sc.metric("llama3_deviation_pct", rows[2].1);
     sc.metric("hunyuan_deviation_pct", rows[0].1);

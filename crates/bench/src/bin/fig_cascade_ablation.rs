@@ -15,9 +15,10 @@
 //!    that manifest.
 
 use astral_bench::Scenario;
+use astral_collectives::RunnerConfig;
 use astral_core::{
-    run_cascade, CascadeClass, CascadeReport, CascadeScript, RecoveryPolicy, SubstrateFault,
-    TrainingJobSpec,
+    run_campaign_battery, CampaignRun, CascadeClass, CascadeReport, CascadeScript, FaultCampaign,
+    RecoveryPolicy, SubstrateFault, TrainingJobSpec,
 };
 use astral_sim::SimRng;
 use astral_topo::{build_astral, AstralParams, Topology};
@@ -123,10 +124,16 @@ fn main() {
         ("graceful", graceful_no_seer),
         ("graceful+seer", full),
     ];
+    // The three policies run the same campaign independently: a battery on
+    // the ASTRAL_THREADS pool, reports in submission order.
+    let ablation_runs: Vec<CampaignRun> = policies
+        .iter()
+        .map(|&(_, policy)| (policy, spec(11), FaultCampaign::scripted(pump_script(), 11)))
+        .collect();
+    let ablation = run_campaign_battery(&topo, &ablation_runs, RunnerConfig::default());
     let mut goodputs: Vec<(String, f64)> = Vec::new();
-    for (name, policy) in &policies {
-        let r = run_cascade(&topo, policy, &spec(11), &pump_script());
-        row(name, &r);
+    for ((name, _), r) in policies.iter().zip(&ablation) {
+        row(name, r);
         sc.solver(&r.recovery.solver);
         sc.metric(&format!("{name}_goodput"), r.recovery.goodput());
         sc.metric(&format!("{name}_lost_s"), r.recovery.lost_rollback_s);
@@ -143,18 +150,28 @@ fn main() {
         CascadeClass::Cooling,
         CascadeClass::Optics,
     ];
+    // Materialize all 51 campaign scripts first (the seeded draws are
+    // cheap and order-dependent), then run the battery in parallel.
+    const SEEDS: u64 = 17;
+    let mut sweep_runs: Vec<CampaignRun> = Vec::new();
+    for class in classes {
+        for seed in 0..SEEDS {
+            let mut rng =
+                SimRng::new(seed * 3 + classes.iter().position(|c| *c == class).unwrap() as u64);
+            let script = class_script(class, &mut rng);
+            sweep_runs.push((full, spec(seed), FaultCampaign::scripted(script, seed)));
+        }
+    }
+    let sweep_reports = run_campaign_battery(&topo, &sweep_runs, RunnerConfig::default());
+
     let mut attributed = 0usize;
     let mut correct = 0usize;
     let mut blast_total = 0usize;
     let mut per_class: Vec<(String, f64)> = Vec::new();
-    for class in classes {
+    for (ci, class) in classes.iter().enumerate() {
         let mut class_correct = 0usize;
         let mut class_total = 0usize;
-        for seed in 0..17u64 {
-            let mut rng =
-                SimRng::new(seed * 3 + classes.iter().position(|c| *c == class).unwrap() as u64);
-            let script = class_script(class, &mut rng);
-            let r = run_cascade(&topo, &full, &spec(seed), &script);
+        for r in &sweep_reports[ci * SEEDS as usize..(ci + 1) * SEEDS as usize] {
             sc.solver(&r.recovery.solver);
             for a in &r.attributions {
                 attributed += 1;

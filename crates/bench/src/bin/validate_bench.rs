@@ -2,7 +2,8 @@
 //!
 //! Scans `$ASTRAL_BENCH_DIR` (default `.`) — or the directories given as
 //! arguments — for `BENCH_*.json`, parses each, and checks the required
-//! fields and their shapes. Exits non-zero if any report is malformed or
+//! fields, their shapes, and that the id is one the harness can emit
+//! ([`Report::KNOWN_IDS`]). Exits non-zero if any report is malformed or
 //! none are found, so CI can gate on it.
 
 use astral_bench::Report;
@@ -53,6 +54,11 @@ fn validate(text: &str) -> Result<String, String> {
         .and_then(|v| v.as_str())
         .unwrap_or("?")
         .to_string();
+    if !Report::KNOWN_IDS.contains(&id.as_str()) {
+        return Err(format!(
+            "unknown report id `{id}` (not in Report::KNOWN_IDS)"
+        ));
+    }
     Ok(id)
 }
 

@@ -8,15 +8,27 @@
 //! so CI can diff reproduction quality run over run. Run them all with:
 //!
 //! ```sh
-//! for f in fig02 fig03 fig04 fig05 fig06 fig07 fig09 fig10 fig12 fig13 \
-//!          fig14 fig15 fig16 fig17 fig18 fig19 table1 appc; do
-//!   cargo run --release -p astral-bench --bin ${f}* ;
+//! for f in fig02_alltoall_fragmentation fig03_architecture_scale \
+//!          fig04_hvdc_power fig05_cooling_airflow fig06_pue_evolution \
+//!          fig07_anomaly_taxonomy fig09_anomaly_localization \
+//!          fig10_goodput_recovery fig10_mttlf fig12_seer_accuracy \
+//!          fig13_crossdc_efficiency fig14_intrahost_scale \
+//!          fig15_power_iterations fig16_power_tidal \
+//!          fig17_ecmp_reassignment fig18_crossdc_pp_oversub \
+//!          fig19_scaling_efficiency fig_cascade_ablation \
+//!          ablation_hash_salt ablation_rail_design appa_ecmp_rationale \
+//!          appc_monitor_overhead table1_llama3_operators \
+//!          perf_solver_alltoall perf_parallel_campaigns; do
+//!   cargo run --release -p astral-bench --bin $f ;
 //! done
 //! ```
 //!
 //! Reports land in `$ASTRAL_BENCH_DIR` (default: the working directory).
-//! `validate_bench` checks every emitted report for the required schema;
-//! `perf_solver_alltoall` records the incremental-vs-full solver speedup.
+//! `validate_bench` checks every emitted report for the required schema
+//! and that its id is a known one; `perf_solver_alltoall` records the
+//! incremental-vs-full solver speedup, and `perf_parallel_campaigns`
+//! records the serial-vs-parallel campaign-battery speedup together with
+//! the byte-identical determinism check (`ASTRAL_THREADS` sets the width).
 //!
 //! Criterion micro-benchmarks (event queue, routing, fairness, the
 //! incremental solver, collective expansion, Seer forecast latency,
@@ -61,6 +73,38 @@ impl Report {
         "metrics",
         "paper_vs_measured",
         "solver",
+    ];
+
+    /// Every report id the harness can emit — `validate_bench` rejects
+    /// reports whose id is not on this list (a typo'd or stale id would
+    /// otherwise silently pass schema validation). Keep in sync with the
+    /// `Scenario::new` call of each bin.
+    pub const KNOWN_IDS: [&'static str; 25] = [
+        "ablation_hash_salt",
+        "ablation_rail_design",
+        "appa",
+        "appc",
+        "cascade_ablation",
+        "fig02",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig09",
+        "fig10_goodput",
+        "fig10_mttlf",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "perf_parallel_campaigns",
+        "perf_solver_alltoall",
+        "table1",
     ];
 
     /// The report as a JSON value (string-keyed maps throughout).
@@ -156,6 +200,43 @@ impl Scenario {
     /// (accumulates across calls — sweeps merge every run's work).
     pub fn solver(&mut self, counters: &SolverCounters) {
         self.report.solver.merge(counters);
+    }
+
+    /// Run an independent-simulation sweep over `points` on the
+    /// `ASTRAL_THREADS`-sized pool. Each point returns its result plus the
+    /// solver counters of the simulations it ran; results come back in
+    /// point order and counters are folded into the report in that same
+    /// order, so the emitted `BENCH_<id>.json` is byte-identical to a
+    /// serial loop at any thread count.
+    pub fn sweep<T, R, F>(&mut self, points: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> (R, SolverCounters) + Sync,
+    {
+        self.sweep_with(&astral_exec::Pool::from_env(), points, f)
+    }
+
+    /// [`Scenario::sweep`] on an explicit pool.
+    pub fn sweep_with<T, R, F>(&mut self, pool: &astral_exec::Pool, points: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> (R, SolverCounters) + Sync,
+    {
+        pool.map(points, f)
+            .into_iter()
+            .map(|(r, counters)| {
+                self.report.solver.merge(&counters);
+                r
+            })
+            .collect()
+    }
+
+    /// The report accumulated so far (wall clock not yet stamped) — for
+    /// tests and callers that inspect series/metrics before `finish`.
+    pub fn report(&self) -> &Report {
+        &self.report
     }
 
     /// Print the paper-vs-measured footer, stamp the wall clock, write

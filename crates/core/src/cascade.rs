@@ -351,6 +351,45 @@ pub fn try_run_cascade(
     })
 }
 
+/// One entry of a campaign battery: an independent (policy, job spec,
+/// campaign) triple.
+pub type CampaignRun = (RecoveryPolicy, TrainingJobSpec, FaultCampaign);
+
+/// Run a battery of independent cascade campaigns on the
+/// `ASTRAL_THREADS`-sized pool. Reports come back in submission order and
+/// every run is an isolated simulation, so the output — fingerprints
+/// included — is byte-identical to a serial loop at any thread count.
+/// Panics on an invalid policy.
+pub fn run_campaign_battery(
+    topo: &Topology,
+    runs: &[CampaignRun],
+    runner_cfg: RunnerConfig,
+) -> Vec<CascadeReport> {
+    match try_run_campaign_battery_with(&astral_exec::Pool::from_env(), topo, runs, runner_cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("run_campaign_battery: invalid policy: {e}"),
+    }
+}
+
+/// [`run_campaign_battery`] on an explicit pool, surfacing policy errors.
+/// Policies are validated up front (serially, in submission order) so the
+/// first invalid one is reported deterministically regardless of width.
+pub fn try_run_campaign_battery_with(
+    pool: &astral_exec::Pool,
+    topo: &Topology,
+    runs: &[CampaignRun],
+    runner_cfg: RunnerConfig,
+) -> Result<Vec<CascadeReport>, crate::recovery::PolicyError> {
+    for (policy, _, _) in runs {
+        policy.validate()?;
+    }
+    Ok(pool.map(runs, |(policy, spec, campaign)| {
+        let script = campaign.materialize();
+        try_run_cascade(topo, policy, spec, &script, runner_cfg)
+            .expect("battery policies validated up front")
+    }))
+}
+
 // ---------------------------------------------------------------------------
 // The substrate state machines, driven by the recovery engine's clock.
 // ---------------------------------------------------------------------------

@@ -36,13 +36,14 @@ mod placement;
 pub mod recovery;
 
 pub use cascade::{
-    run_cascade, try_run_cascade, CascadeAttribution, CascadeClass, CascadeReport, CascadeScript,
-    FaultCampaign, HazardRates, SubstrateFault,
+    run_campaign_battery, run_cascade, try_run_campaign_battery_with, try_run_cascade, CampaignRun,
+    CascadeAttribution, CascadeClass, CascadeReport, CascadeScript, FaultCampaign, HazardRates,
+    SubstrateFault,
 };
 pub use infra::{AstralInfrastructure, JobEvaluation};
 pub use placement::{place_job, pods_touched, PlacementPolicy};
 pub use recovery::{
-    run_training, try_run_training, FaultClass, FaultScript, Incident, InjectedFault,
-    InjectionRecord, MitigationAction, PolicyError, RecoveryPolicy, RecoveryReport,
-    TrainingJobSpec,
+    run_training, run_training_battery, try_run_training, try_run_training_battery_with,
+    FaultClass, FaultScript, Incident, InjectedFault, InjectionRecord, MitigationAction,
+    PolicyError, RecoveryPolicy, RecoveryReport, TrainingJobSpec, TrainingRun,
 };

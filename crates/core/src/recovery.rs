@@ -515,6 +515,37 @@ pub fn try_run_training(
     Ok(engine.run_parts().0)
 }
 
+/// One entry of a training battery: an independent (policy, job spec,
+/// fault script) triple.
+pub type TrainingRun = (RecoveryPolicy, TrainingJobSpec, FaultScript);
+
+/// Run a battery of independent training jobs on the `ASTRAL_THREADS`-sized
+/// pool. Reports come back in submission order and each run is an isolated
+/// simulation, so the output — fingerprints included — is byte-identical
+/// to a serial loop at any thread count. Panics on an invalid policy.
+pub fn run_training_battery(topo: &Topology, runs: &[TrainingRun]) -> Vec<RecoveryReport> {
+    match try_run_training_battery_with(&astral_exec::Pool::from_env(), topo, runs) {
+        Ok(r) => r,
+        Err(e) => panic!("run_training_battery: invalid policy: {e}"),
+    }
+}
+
+/// [`run_training_battery`] on an explicit pool, surfacing policy errors.
+/// Policies are validated up front (serially, in submission order) so the
+/// first invalid one is reported deterministically regardless of width.
+pub fn try_run_training_battery_with(
+    pool: &astral_exec::Pool,
+    topo: &Topology,
+    runs: &[TrainingRun],
+) -> Result<Vec<RecoveryReport>, PolicyError> {
+    for (policy, _, _) in runs {
+        policy.validate()?;
+    }
+    Ok(pool.map(runs, |(policy, spec, script)| {
+        try_run_training(topo, policy, spec, script).expect("battery policies validated up front")
+    }))
+}
+
 /// Run the engine with a cascade substrate attached (the
 /// [`crate::cascade`] entry point). The caller has already validated the
 /// policy.

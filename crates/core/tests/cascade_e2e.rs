@@ -4,9 +4,9 @@
 
 use astral_collectives::RunnerConfig;
 use astral_core::{
-    run_cascade, try_run_cascade, try_run_training, CascadeClass, CascadeScript, FaultCampaign,
-    FaultScript, HazardRates, MitigationAction, PolicyError, RecoveryPolicy, SubstrateFault,
-    TrainingJobSpec,
+    run_cascade, try_run_campaign_battery_with, try_run_cascade, try_run_training, CascadeClass,
+    CascadeScript, FaultCampaign, FaultScript, HazardRates, MitigationAction, PolicyError,
+    RecoveryPolicy, SubstrateFault, TrainingJobSpec,
 };
 use astral_monitor::CauseClass;
 use astral_topo::{build_astral, AstralParams, Topology};
@@ -356,5 +356,48 @@ proptest! {
         full.net.incremental_solver = false;
         let c = try_run_cascade(&t, &policy, &spec, &script, full).unwrap();
         prop_assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A campaign battery on pools of 1, 2, and 8 threads returns the
+    /// same reports in the same order — fingerprints byte-identical to
+    /// the serial loop, so parallelism is purely a wall-clock lever.
+    #[test]
+    fn campaign_battery_is_pool_width_invariant(base_seed in 0u64..500) {
+        let t = topo();
+        let runs: Vec<_> = (0..5u64)
+            .map(|i| {
+                let seed = base_seed + i;
+                let spec = TrainingJobSpec {
+                    iters: 18,
+                    bytes: 2 << 20,
+                    comp_s: 0.2,
+                    seed,
+                    ..TrainingJobSpec::default()
+                };
+                let campaign = FaultCampaign {
+                    scripted: CascadeScript::default(),
+                    hazards: HazardRates { grid_sag: 0.05, pump: 0.05, optics: 0.04 },
+                    horizon_iters: spec.iters,
+                    seed,
+                };
+                (RecoveryPolicy::default(), spec, campaign)
+            })
+            .collect();
+        let fp = |reports: &[astral_core::CascadeReport]| -> Vec<String> {
+            reports.iter().map(|r| r.fingerprint()).collect()
+        };
+        let serial = try_run_campaign_battery_with(
+            &astral_exec::Pool::with_threads(1), &t, &runs, RunnerConfig::default(),
+        ).unwrap();
+        for threads in [2, 8] {
+            let par = try_run_campaign_battery_with(
+                &astral_exec::Pool::with_threads(threads), &t, &runs, RunnerConfig::default(),
+            ).unwrap();
+            prop_assert_eq!(fp(&serial), fp(&par), "pool width {} diverged", threads);
+        }
     }
 }

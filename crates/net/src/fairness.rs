@@ -106,9 +106,13 @@ pub fn max_min_rates(
 /// allocation as [`max_min_rates`]; kept only so the full-rebuild simulator
 /// mode (`NetConfig::incremental_solver == false`) reproduces the original
 /// per-event cost for honest before/after benchmarking.
-pub fn max_min_rates_seed(
+///
+/// Paths are accepted as anything slice-shaped (`Vec<u32>`, `&[u32]`, or a
+/// view into the simulator's path arena) so the caller never has to clone
+/// per-flow link lists just to call the reference solver.
+pub fn max_min_rates_seed<P: AsRef<[u32]>>(
     capacity: &[f64],
-    flow_links: &[Vec<u32>],
+    flow_links: &[P],
     weight: Option<&[f64]>,
 ) -> Vec<f64> {
     let nf = flow_links.len();
@@ -125,7 +129,7 @@ pub fn max_min_rates_seed(
     for (f, links) in flow_links.iter().enumerate() {
         let w = weight.map_or(1.0, |ws| ws[f]);
         debug_assert!(w > 0.0, "flow weights must be positive");
-        for &l in links {
+        for &l in links.as_ref() {
             load[l as usize] += w;
             link_flows[l as usize].push(f as u32);
         }
@@ -176,7 +180,7 @@ pub fn max_min_rates_seed(
                     let w = weight.map_or(1.0, |ws| ws[f]);
                     rate[f] = level * w;
                     // Remove its weight from every other link it crosses.
-                    for &l2 in &flow_links[f] {
+                    for &l2 in flow_links[f].as_ref() {
                         load[l2 as usize] -= w;
                     }
                 }

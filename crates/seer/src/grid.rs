@@ -1,0 +1,97 @@
+//! Parallel testbed × Seer scenario grids.
+//!
+//! Figure-12-style studies evaluate many (model, parallelism) points; each
+//! needs a full testbed execution (flow-level collective measurements over
+//! the real topology) plus two Seer forecasts. The points are independent
+//! simulations, so they fan out on the [`astral_exec`] pool. Each task
+//! builds its own [`Testbed`] — the measurement cache is deliberately
+//! single-threaded — and every measured value is a deterministic function
+//! of (topology, GPU, model, parallelism), so the grid result is
+//! byte-identical at any thread count.
+
+use crate::calibrate::Calibration;
+use crate::suites::{GpuSpec, NetworkSpec};
+use crate::testbed::Testbed;
+use crate::timeline::Timeline;
+use crate::{Seer, SeerConfig};
+use astral_exec::Pool;
+use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
+use astral_topo::Topology;
+
+/// One grid point: a labeled (model, parallelism) pair.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Display label for reports.
+    pub label: String,
+    /// Model configuration.
+    pub model: ModelConfig,
+    /// Parallelism layout.
+    pub par: ParallelismConfig,
+}
+
+/// Outcome of one grid point: the ground-truth timeline, both forecasts,
+/// and their deviations.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// The point's label.
+    pub label: String,
+    /// Ground-truth testbed timeline.
+    pub testbed: Timeline,
+    /// Uncalibrated (ideal-efficiency) forecast.
+    pub basic: Timeline,
+    /// Calibrated forecast.
+    pub calibrated: Timeline,
+    /// Deviation of the basic forecast vs the testbed, as a fraction.
+    pub basic_dev: f64,
+    /// Deviation of the calibrated forecast vs the testbed, as a fraction.
+    pub calibrated_dev: f64,
+}
+
+/// Run a forecast-accuracy grid on the `ASTRAL_THREADS`-sized pool: for
+/// every point, execute the graph on the testbed and forecast it with an
+/// ideal and a calibrated Seer. Outcomes come back in point order.
+pub fn run_grid(
+    topo: &Topology,
+    gpu: &GpuSpec,
+    net: &NetworkSpec,
+    cal: &Calibration,
+    points: &[GridPoint],
+) -> Vec<GridOutcome> {
+    run_grid_with(&Pool::from_env(), topo, gpu, net, cal, points)
+}
+
+/// [`run_grid`] on an explicit pool.
+pub fn run_grid_with(
+    pool: &Pool,
+    topo: &Topology,
+    gpu: &GpuSpec,
+    net: &NetworkSpec,
+    cal: &Calibration,
+    points: &[GridPoint],
+) -> Vec<GridOutcome> {
+    pool.map(points, |pt| {
+        let testbed = Testbed::new(topo, gpu.clone());
+        let graph = build_training_iteration(&pt.model, &pt.par);
+        let reference = testbed.execute(&graph, &pt.par);
+        let basic = Seer::new(SeerConfig {
+            gpu: gpu.clone(),
+            net: net.clone(),
+            calibration: Calibration::ideal(),
+        })
+        .forecast_graph(&graph, &pt.par);
+        let calibrated = Seer::new(SeerConfig {
+            gpu: gpu.clone(),
+            net: net.clone(),
+            calibration: cal.clone(),
+        })
+        .forecast_graph(&graph, &pt.par);
+        GridOutcome {
+            label: pt.label.clone(),
+            basic_dev: basic.deviation_vs(&reference),
+            calibrated_dev: calibrated.deviation_vs(&reference),
+            testbed: reference,
+            basic,
+            calibrated,
+        }
+    })
+}

@@ -33,6 +33,7 @@
 
 mod basic;
 mod calibrate;
+pub mod grid;
 mod hazard;
 mod pricer;
 mod suites;
@@ -42,6 +43,7 @@ mod truth;
 
 pub use basic::{t_addition, t_dp_comm, t_mem, t_multiplication, t_pp_comm, t_tp_comm};
 pub use calibrate::{fit_curve, Calibration, CommKind, CommScope, EfficiencyCurve};
+pub use grid::{run_grid, run_grid_with, GridOutcome, GridPoint};
 pub use hazard::HazardForecaster;
 pub use pricer::{scope_of, span_of, ModelPricer, SeerConfig};
 pub use suites::{CrossDcSpec, GpuSpec, NetworkSpec};

@@ -95,6 +95,13 @@ pub struct Topology {
     hb: HbDomainSpec,
     /// Human-readable architecture label ("astral", "clos", …).
     arch: String,
+    /// Mutation counter: bumped on every structural change (nodes, links,
+    /// hosts, HB domain). Route memos key their validity on it — a cached
+    /// path is only trusted while the epoch it was computed at still holds.
+    /// Runtime bookkeeping, not topology content, so it is skipped on
+    /// serialization and starts at 0 after a round-trip.
+    #[serde(skip)]
+    epoch: u64,
 }
 
 impl Topology {
@@ -110,7 +117,16 @@ impl Topology {
             rails,
             hb,
             arch: arch.into(),
+            epoch: 0,
         }
+    }
+
+    /// The structural-mutation epoch. Any two calls returning the same
+    /// value bracket a window in which no node/link/host/HB-domain change
+    /// happened, so derived caches (route memos, distance fields) built
+    /// inside the window are still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Architecture label this fabric was built as.
@@ -120,6 +136,7 @@ impl Topology {
 
     /// Append a node, returning its id.
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.epoch += 1;
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { id, kind });
         self.out_adj.push(Vec::new());
@@ -136,6 +153,7 @@ impl Topology {
     ) -> LinkId {
         assert!(src.index() < self.nodes.len() && dst.index() < self.nodes.len());
         assert!(bandwidth_bps > 0.0, "links need positive capacity");
+        self.epoch += 1;
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link {
             id,
@@ -171,6 +189,7 @@ impl Topology {
             self.rails as usize,
             "host must have one NIC per rail"
         );
+        self.epoch += 1;
         let id = HostId(self.hosts.len() as u32);
         self.hosts.push(Host {
             id,
@@ -236,6 +255,7 @@ impl Topology {
 
     /// Rebuild the `(src,dst) -> link` index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
+        self.epoch += 1;
         self.link_index = self.links.iter().map(|l| ((l.src, l.dst), l.id)).collect();
     }
 
@@ -257,6 +277,7 @@ impl Topology {
             0,
             "HB domain must span whole hosts"
         );
+        self.epoch += 1;
         self.hb = hb;
     }
 

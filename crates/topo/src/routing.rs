@@ -223,34 +223,58 @@ impl Router {
         topo: &Topology,
         src_nic: NodeId,
         dst_nic: NodeId,
-        mut choose: F,
+        choose: F,
     ) -> Result<Option<Vec<LinkId>>, RoutingError>
     where
         F: FnMut(NodeId, &[Hop]) -> usize,
     {
+        let mut path = Vec::new();
+        Ok(self
+            .try_path_with_into(topo, src_nic, dst_nic, choose, &mut path)?
+            .then_some(path))
+    }
+
+    /// Allocation-free variant of [`Router::try_path_with`]: the walk is
+    /// written into `out` (cleared first), so hot callers can reuse one
+    /// scratch buffer across flows. Returns `Ok(true)` when a route exists
+    /// (`out` holds it — empty for `src_nic == dst_nic`), `Ok(false)` when
+    /// the fabric offers none.
+    pub fn try_path_with_into<F>(
+        &self,
+        topo: &Topology,
+        src_nic: NodeId,
+        dst_nic: NodeId,
+        mut choose: F,
+        out: &mut Vec<LinkId>,
+    ) -> Result<bool, RoutingError>
+    where
+        F: FnMut(NodeId, &[Hop]) -> usize,
+    {
+        out.clear();
         if src_nic == dst_nic {
-            return Ok(Some(Vec::new()));
+            return Ok(true);
         }
         let field = self.dist_field(topo, dst_nic);
         let mut cur = src_nic;
         let mut phase = Phase::Up;
-        let mut path = Vec::new();
         while cur != dst_nic {
             let hops = field.next_hops(topo, cur, phase);
             if hops.is_empty() {
-                return Ok(None);
+                out.clear();
+                return Ok(false);
             }
             let idx = choose(cur, hops);
             debug_assert!(idx < hops.len(), "chooser returned out-of-range index");
             let hop = hops[idx.min(hops.len() - 1)];
-            path.push(hop.link);
+            out.push(hop.link);
             cur = topo.link(hop.link).dst;
             phase = hop.phase;
-            if path.len() > MAX_HOPS {
+            if out.len() > MAX_HOPS {
+                out.clear();
                 return Err(RoutingError::HopLimitExceeded { limit: MAX_HOPS });
             }
         }
-        Ok(Some(path))
+        Ok(true)
     }
 
     /// Shortest valley-free hop count from `src_nic` to `dst_nic`.

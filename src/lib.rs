@@ -14,6 +14,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`sim`] | discrete-event engine, RNG, statistics |
+//! | [`exec`] | deterministic parallel execution (`ASTRAL_THREADS`) |
 //! | [`topo`] | Astral + baseline fabrics, ECMP routing, wiring verify |
 //! | [`net`] | flow-level RDMA simulation, ECMP controller, telemetry |
 //! | [`collectives`] | NCCL-style schedules and the collective runner |
@@ -29,6 +30,7 @@
 pub use astral_collectives as collectives;
 pub use astral_cooling as cooling;
 pub use astral_core as core;
+pub use astral_exec as exec;
 pub use astral_model as model;
 pub use astral_monitor as monitor;
 pub use astral_net as net;
