@@ -79,7 +79,7 @@ impl Report {
     /// reports whose id is not on this list (a typo'd or stale id would
     /// otherwise silently pass schema validation). Keep in sync with the
     /// `Scenario::new` call of each bin.
-    pub const KNOWN_IDS: [&'static str; 25] = [
+    pub const KNOWN_IDS: [&'static str; 26] = [
         "ablation_hash_salt",
         "ablation_rail_design",
         "appa",
@@ -102,6 +102,7 @@ impl Report {
         "fig17",
         "fig18",
         "fig19",
+        "fleet_campaign",
         "perf_parallel_campaigns",
         "perf_solver_alltoall",
         "table1",

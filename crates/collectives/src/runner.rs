@@ -96,6 +96,22 @@ impl<'a> CollectiveRunner<'a> {
         }
     }
 
+    /// New runner over `topo` sharing an already-warmed ECMP router — the
+    /// shared-topology fast path for batteries of independent runs on one
+    /// fabric (see [`NetworkSim::with_router`]).
+    pub fn with_router(
+        topo: &'a Topology,
+        cfg: RunnerConfig,
+        router: std::sync::Arc<astral_topo::Router>,
+    ) -> Self {
+        CollectiveRunner {
+            sim: NetworkSim::with_router(topo, cfg.net, router),
+            cfg,
+            qp_cache: HashMap::new(),
+            group_ctr: 0,
+        }
+    }
+
     /// The underlying network simulator (telemetry access).
     pub fn sim(&self) -> &NetworkSim<'a> {
         &self.sim

@@ -1,0 +1,148 @@
+//! Cooling failure domains: which hosts share one CDU loop.
+//!
+//! A pump or CDU fault starves *every* rack on its loop of airflow at once
+//! (paper §2.2) — the loop is the unit a cooling cascade blasts, and the
+//! unit a blast-radius-aware fleet placement spreads tenants across. Like
+//! [`crate::RackRow`], the map is topology-agnostic: the caller supplies
+//! per-row host groups from whatever layout it has, and a loop may span
+//! several adjacent rows (one CDU often serves more than one row of
+//! racks), which makes cooling domains *coarser* than power domains.
+
+use crate::CoolingError;
+use std::collections::HashMap;
+
+/// The cooling failure-domain map: one entry per CDU loop, each a group
+/// of hosts that lose airflow together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingDomains {
+    loops: Vec<Vec<u32>>,
+    host_domain: HashMap<u32, usize>,
+}
+
+impl CoolingDomains {
+    /// Build from per-loop host groups. Panics on invalid input; use
+    /// [`CoolingDomains::try_new`] to handle the error instead.
+    pub fn new(loops: Vec<Vec<u32>>) -> Self {
+        match Self::try_new(loops) {
+            Ok(d) => d,
+            Err(e) => panic!("CoolingDomains: {e}"),
+        }
+    }
+
+    /// Build from per-loop host groups, rejecting empty loops and hosts
+    /// claimed by two loops (a rack sits on exactly one loop).
+    pub fn try_new(loops: Vec<Vec<u32>>) -> Result<Self, CoolingError> {
+        let mut host_domain = HashMap::new();
+        for (d, lp) in loops.iter().enumerate() {
+            if lp.is_empty() {
+                return Err(CoolingError::EmptyRow);
+            }
+            for &h in lp {
+                if host_domain.insert(h, d).is_some() {
+                    return Err(CoolingError::DuplicateHost { host: h });
+                }
+            }
+        }
+        Ok(CoolingDomains { loops, host_domain })
+    }
+
+    /// Build from rack rows with `rows_per_loop` adjacent rows chained on
+    /// each CDU loop — the coarsening that makes a cooling domain bigger
+    /// than a power domain.
+    pub fn try_grouped(rows: Vec<Vec<u32>>, rows_per_loop: usize) -> Result<Self, CoolingError> {
+        if rows_per_loop == 0 {
+            return Err(CoolingError::EmptyRow);
+        }
+        let loops: Vec<Vec<u32>> = rows
+            .chunks(rows_per_loop)
+            .map(|chunk| chunk.iter().flatten().copied().collect())
+            .collect();
+        Self::try_new(loops)
+    }
+
+    /// Number of CDU loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// True when no domains are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// The loop cooling `host`, if mapped.
+    pub fn domain_of(&self, host: u32) -> Option<usize> {
+        self.host_domain.get(&host).copied()
+    }
+
+    /// Hosts on loop `domain`.
+    pub fn hosts_in(&self, domain: usize) -> &[u32] {
+        &self.loops[domain]
+    }
+
+    /// Distinct loops a host set touches.
+    pub fn spread(&self, hosts: &[u32]) -> usize {
+        let mut seen = vec![false; self.loops.len()];
+        let mut n = 0;
+        for &h in hosts {
+            if let Some(d) = self.domain_of(h) {
+                if !seen[d] {
+                    seen[d] = true;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Largest share of `hosts` on any single loop — the tenant's
+    /// worst-case loss when one pump dies.
+    pub fn max_colocated(&self, hosts: &[u32]) -> usize {
+        let mut per = vec![0usize; self.loops.len()];
+        let mut worst = 0;
+        for &h in hosts {
+            if let Some(d) = self.domain_of(h) {
+                per[d] += 1;
+                worst = worst.max(per[d]);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_loops_coarsen_rows() {
+        let rows = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]];
+        let d = CoolingDomains::try_grouped(rows, 2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.hosts_in(0), &[0, 1, 2, 3]);
+        assert_eq!(d.domain_of(5), Some(1));
+    }
+
+    #[test]
+    fn spread_and_colocation() {
+        let d = CoolingDomains::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        assert_eq!(d.spread(&[0, 4]), 2);
+        assert_eq!(d.max_colocated(&[0, 1, 2]), 3);
+    }
+
+    #[test]
+    fn rejects_bad_maps() {
+        assert_eq!(
+            CoolingDomains::try_new(vec![vec![]]),
+            Err(CoolingError::EmptyRow)
+        );
+        assert_eq!(
+            CoolingDomains::try_new(vec![vec![0], vec![0]]),
+            Err(CoolingError::DuplicateHost { host: 0 })
+        );
+        assert_eq!(
+            CoolingDomains::try_grouped(vec![vec![0]], 0),
+            Err(CoolingError::EmptyRow)
+        );
+    }
+}

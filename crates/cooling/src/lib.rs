@@ -8,11 +8,15 @@
 //! * [`CoolingPlant`] / [`FacilityConfig`] — the air–liquid integrated
 //!   cooling system with a shared primary cold source, and the PUE
 //!   accounting behind Figure 6's 16.34% average improvement.
+//! * [`CoolingDomains`] — which hosts share one CDU loop: the cooling
+//!   failure-domain query a blast-radius-aware fleet placement asks.
 
 #![warn(missing_docs)]
 
 mod airflow;
+mod domains;
 mod integrated;
 
 pub use airflow::{paper_row, Airflow, CoolingError, RackRow};
+pub use domains::CoolingDomains;
 pub use integrated::{mean_pue_improvement, pue_evolution, CoolingPlant, FacilityConfig};

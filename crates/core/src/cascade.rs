@@ -35,7 +35,8 @@
 //! against the PR-1 reactive ladder inside seeded [`FaultCampaign`]s.
 
 use crate::recovery::{
-    run_engine_with_substrate, FaultClass, RecoveryPolicy, RecoveryReport, TrainingJobSpec,
+    run_engine_with_substrate, FaultClass, JobPlacement, RecoveryPolicy, RecoveryReport,
+    TrainingJobSpec,
 };
 use astral_collectives::RunnerConfig;
 use astral_cooling::{Airflow, RackRow};
@@ -43,8 +44,9 @@ use astral_monitor::CauseClass;
 use astral_power::{HvdcUnit, RackPower};
 use astral_seer::HazardForecaster;
 use astral_sim::SimRng;
-use astral_topo::{HostId, Topology};
+use astral_topo::{HostId, Router, Topology};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Rack inlet temperature at which GPUs begin thermally throttling, °C.
 pub const THROTTLE_C: f64 = 45.0;
@@ -341,10 +343,42 @@ pub fn try_run_cascade(
     script: &CascadeScript,
     runner_cfg: RunnerConfig,
 ) -> Result<CascadeReport, crate::recovery::PolicyError> {
+    try_run_cascade_placed(
+        topo,
+        policy,
+        spec,
+        script,
+        runner_cfg,
+        &JobPlacement::prefix(spec.hosts, spec.spares),
+        None,
+    )
+}
+
+/// [`try_run_cascade`] on an explicit [`JobPlacement`] — the multi-tenant
+/// entry point: the tenant's hosts and its spare grant live anywhere in
+/// the fabric. `router` optionally shares a warmed ECMP router across
+/// independent runs on the same topology (byte-identical results, setup
+/// paid once).
+pub fn try_run_cascade_placed(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    script: &CascadeScript,
+    runner_cfg: RunnerConfig,
+    placement: &JobPlacement,
+    router: Option<Arc<Router>>,
+) -> Result<CascadeReport, crate::recovery::PolicyError> {
     policy.validate()?;
     let substrate = SubstrateState::new(topo, spec.seed, script.clone());
-    let (recovery, substrate) =
-        run_engine_with_substrate(topo, policy, spec, runner_cfg, substrate);
+    let (recovery, substrate) = run_engine_with_substrate(
+        topo,
+        policy,
+        spec,
+        runner_cfg,
+        substrate,
+        placement.clone(),
+        router,
+    );
     Ok(CascadeReport {
         recovery,
         attributions: substrate.attributions,
@@ -383,11 +417,44 @@ pub fn try_run_campaign_battery_with(
     for (policy, _, _) in runs {
         policy.validate()?;
     }
+    // Shared-topology fast path: one warmed ECMP router serves every run
+    // (see `try_run_training_battery_with` for the soundness argument).
+    let router = Arc::new(Router::new());
     Ok(pool.map(runs, |(policy, spec, campaign)| {
         let script = campaign.materialize();
-        try_run_cascade(topo, policy, spec, &script, runner_cfg)
-            .expect("battery policies validated up front")
+        try_run_cascade_placed(
+            topo,
+            policy,
+            spec,
+            &script,
+            runner_cfg,
+            &JobPlacement::prefix(spec.hosts, spec.spares),
+            Some(router.clone()),
+        )
+        .expect("battery policies validated up front")
     }))
+}
+
+/// The physical rack rows of a fabric: one `(pod, block)` host group per
+/// row, pod-major, each behind one HVDC unit and one CDU loop. This is the
+/// failure-domain unit every substrate cascade blasts — fleet placement
+/// policies spread tenants across these rows to bound the blast radius.
+pub fn rack_rows(topo: &Topology) -> Vec<Vec<HostId>> {
+    let mut keys: Vec<(u16, u16)> = topo.hosts().iter().map(|h| (h.pod, h.block)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut rows: Vec<Vec<HostId>> = keys
+        .iter()
+        .map(|&(pod, block)| {
+            topo.hosts()
+                .iter()
+                .filter(|h| (h.pod, h.block) == (pod, block))
+                .map(|h| h.id)
+                .collect()
+        })
+        .collect();
+    rows.sort_by_key(|r| r[0]);
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -537,23 +604,8 @@ impl SubstrateState {
     pub(crate) fn new(topo: &Topology, seed: u64, script: CascadeScript) -> Self {
         // Rack row = one (pod, block) group, pod-major, matching the
         // physical deployment of a row of racks behind one HVDC unit and
-        // one CDU loop.
-        let mut keys: Vec<(u16, u16)> = topo.hosts().iter().map(|h| (h.pod, h.block)).collect();
-        keys.sort_unstable();
-        keys.dedup();
-        let mut rows: Vec<RowState> = keys
-            .iter()
-            .map(|&(pod, block)| {
-                let hosts: Vec<HostId> = topo
-                    .hosts()
-                    .iter()
-                    .filter(|h| (h.pod, h.block) == (pod, block))
-                    .map(|h| h.id)
-                    .collect();
-                RowState::new(hosts)
-            })
-            .collect();
-        rows.sort_by_key(|r| r.hosts[0]);
+        // one CDU loop (see [`rack_rows`]).
+        let rows: Vec<RowState> = rack_rows(topo).into_iter().map(RowState::new).collect();
         let mut host_row = HashMap::new();
         for (ri, row) in rows.iter().enumerate() {
             for (hi, &h) in row.hosts.iter().enumerate() {

@@ -36,14 +36,15 @@ mod placement;
 pub mod recovery;
 
 pub use cascade::{
-    run_campaign_battery, run_cascade, try_run_campaign_battery_with, try_run_cascade, CampaignRun,
-    CascadeAttribution, CascadeClass, CascadeReport, CascadeScript, FaultCampaign, HazardRates,
-    SubstrateFault,
+    rack_rows, run_campaign_battery, run_cascade, try_run_campaign_battery_with, try_run_cascade,
+    try_run_cascade_placed, CampaignRun, CascadeAttribution, CascadeClass, CascadeReport,
+    CascadeScript, FaultCampaign, HazardRates, SubstrateFault,
 };
 pub use infra::{AstralInfrastructure, JobEvaluation};
 pub use placement::{place_job, pods_touched, PlacementPolicy};
 pub use recovery::{
     run_training, run_training_battery, try_run_training, try_run_training_battery_with,
-    FaultClass, FaultScript, Incident, InjectedFault, InjectionRecord, MitigationAction,
-    PolicyError, RecoveryPolicy, RecoveryReport, TrainingJobSpec, TrainingRun,
+    try_run_training_placed, AbortReason, FaultClass, FaultScript, Incident, InjectedFault,
+    InjectionRecord, JobPlacement, MitigationAction, PolicyError, RecoveryPolicy, RecoveryReport,
+    TrainingJobSpec, TrainingRun,
 };

@@ -35,8 +35,9 @@ use astral_monitor::{
 };
 use astral_net::{FlowEvent, QpId, QpRecord, SolverCounters, EPHEMERAL_BASE};
 use astral_sim::{SimDuration, SimRng};
-use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Topology};
+use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Router, Topology};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Tunable recovery behaviour — the policy axis the Figure-10 goodput
 /// sweep explores.
@@ -223,6 +224,62 @@ impl RecoveryPolicy {
     }
 }
 
+/// Why a run ended without completing — the per-job abort taxonomy a
+/// fleet controller arbitrates on (requeue vs fail vs escalate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Recovery was disabled: the first alarm killed the job (the
+    /// ablation baseline).
+    RecoveryDisabled,
+    /// A cordon needed a spare but the job's spare allocation was empty —
+    /// the fleet-level spare pool (or the job's grant from it) ran dry.
+    SparesExhausted,
+    /// The restart budget (`max_restarts`) was spent.
+    RestartBudgetExhausted,
+    /// Victim flows could not be steered although both endpoints were
+    /// alive: the fabric partitioned beyond what ECMP can route around.
+    FabricPartitioned,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbortReason::RecoveryDisabled => "recovery disabled",
+            AbortReason::SparesExhausted => "spares exhausted",
+            AbortReason::RestartBudgetExhausted => "restart budget exhausted",
+            AbortReason::FabricPartitioned => "fabric partitioned",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An explicit rank → host mapping plus the spare hosts granted to the
+/// job — the multi-tenant entry point. The single-job API places jobs at
+/// the fleet prefix ([`JobPlacement::prefix`]); a fleet controller places
+/// each tenant wherever its policy decided and grants spares from a
+/// shared pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPlacement {
+    /// Hosts the job runs on (one rank on rail 0 of each).
+    pub hosts: Vec<HostId>,
+    /// Spare hosts this job may claim on a cordon, in grant order
+    /// (claims pop from the back).
+    pub spares: Vec<HostId>,
+}
+
+impl JobPlacement {
+    /// The legacy single-job layout: the job on hosts `0..hosts`, spares
+    /// on the `spares` hosts after them.
+    pub fn prefix(hosts: usize, spares: usize) -> Self {
+        JobPlacement {
+            hosts: (0..hosts as u32).map(HostId).collect(),
+            spares: (hosts as u32..(hosts + spares) as u32)
+                .map(HostId)
+                .collect(),
+        }
+    }
+}
+
 /// Shape of the simulated training job.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainingJobSpec {
@@ -386,8 +443,15 @@ pub struct InjectionRecord {
 pub struct RecoveryReport {
     /// Whether every iteration completed.
     pub completed: bool,
-    /// Iterations finished (≤ spec.iters).
+    /// Iterations of retained progress: `spec.iters` on completion, the
+    /// last checkpoint on an abort (the restart point a requeue resumes
+    /// from).
     pub iters_done: u32,
+    /// Why the run aborted; `None` when it completed.
+    pub abort: Option<AbortReason>,
+    /// Spares consumed by cordon-and-replace restarts, in claim order —
+    /// the debit a fleet-wide spare-pool arbiter charges this job.
+    pub spares_claimed: Vec<HostId>,
     /// Wall-clock that produced retained training progress.
     pub useful_s: f64,
     /// Wall-clock of iterations discarded by checkpoint rollbacks.
@@ -450,9 +514,11 @@ impl RecoveryReport {
     /// same rates. Byte-identical fingerprints ⇒ identical runs.
     pub fn fingerprint(&self) -> String {
         let mut s = format!(
-            "done:{}·{}|u:{:016x}|r:{:016x}|g:{:016x}|c:{:016x}|d:{:016x}",
+            "done:{}·{}·{:?}·{:?}|u:{:016x}|r:{:016x}|g:{:016x}|c:{:016x}|d:{:016x}",
             self.completed,
             self.iters_done,
+            self.abort,
+            self.spares_claimed,
             self.useful_s.to_bits(),
             self.lost_rollback_s.to_bits(),
             self.degraded_s.to_bits(),
@@ -503,6 +569,29 @@ pub fn try_run_training(
     spec: &TrainingJobSpec,
     script: &FaultScript,
 ) -> Result<RecoveryReport, PolicyError> {
+    try_run_training_placed(
+        topo,
+        policy,
+        spec,
+        script,
+        &JobPlacement::prefix(spec.hosts, spec.spares),
+        None,
+    )
+}
+
+/// [`try_run_training`] on an explicit [`JobPlacement`] — the multi-tenant
+/// entry point: the job's hosts and its spare grant live anywhere in the
+/// fabric instead of the fleet prefix. `router` optionally shares a warmed
+/// ECMP router across independent runs on the same topology (byte-identical
+/// results, setup cost paid once).
+pub fn try_run_training_placed(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    script: &FaultScript,
+    placement: &JobPlacement,
+    router: Option<Arc<Router>>,
+) -> Result<RecoveryReport, PolicyError> {
     policy.validate()?;
     let engine = Engine::new(
         topo,
@@ -511,6 +600,8 @@ pub fn try_run_training(
         script.clone(),
         RunnerConfig::default(),
         None,
+        placement.clone(),
+        router,
     );
     Ok(engine.run_parts().0)
 }
@@ -541,8 +632,22 @@ pub fn try_run_training_battery_with(
     for (policy, _, _) in runs {
         policy.validate()?;
     }
+    // Shared-topology fast path: all runs ride one warmed ECMP router, so
+    // the per-destination Dijkstra + hop-table setup is paid once per
+    // battery instead of once per run. Distance fields are a pure function
+    // of the topology (failures are capacity-level inside each private
+    // simulator), so results are byte-identical to per-run routers.
+    let router = Arc::new(Router::new());
     Ok(pool.map(runs, |(policy, spec, script)| {
-        try_run_training(topo, policy, spec, script).expect("battery policies validated up front")
+        try_run_training_placed(
+            topo,
+            policy,
+            spec,
+            script,
+            &JobPlacement::prefix(spec.hosts, spec.spares),
+            Some(router.clone()),
+        )
+        .expect("battery policies validated up front")
     }))
 }
 
@@ -555,6 +660,8 @@ pub(crate) fn run_engine_with_substrate(
     spec: &TrainingJobSpec,
     runner_cfg: RunnerConfig,
     substrate: SubstrateState,
+    placement: JobPlacement,
+    router: Option<Arc<Router>>,
 ) -> (RecoveryReport, SubstrateState) {
     let engine = Engine::new(
         topo,
@@ -563,6 +670,8 @@ pub(crate) fn run_engine_with_substrate(
         FaultScript::default(),
         runner_cfg,
         Some(substrate),
+        placement,
+        router,
     );
     let (report, sub) = engine.run_parts();
     (report, sub.expect("substrate passes through the run"))
@@ -599,11 +708,14 @@ struct Engine<'t> {
     checkpoint_s: f64,
     downtime_s: f64,
     restarts: u32,
+    abort_reason: Option<AbortReason>,
+    spares_claimed: Vec<HostId>,
     incidents: Vec<Incident>,
     injections: Vec<InjectionRecord>,
 }
 
 impl<'t> Engine<'t> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         topo: &'t Topology,
         policy: RecoveryPolicy,
@@ -611,24 +723,37 @@ impl<'t> Engine<'t> {
         script: FaultScript,
         runner_cfg: RunnerConfig,
         substrate: Option<SubstrateState>,
+        placement: JobPlacement,
+        router: Option<Arc<Router>>,
     ) -> Self {
         let rails = topo.rails() as u32;
-        assert!(
-            spec.hosts + spec.spares <= topo.hosts().len(),
-            "job + spares exceed the fleet"
+        assert_eq!(
+            spec.hosts,
+            placement.hosts.len(),
+            "placement must cover every rank"
         );
-        let hosts: Vec<HostId> = (0..spec.hosts as u32).map(HostId).collect();
-        let spares: Vec<HostId> = (spec.hosts as u32..(spec.hosts + spec.spares) as u32)
-            .map(HostId)
-            .collect();
+        assert!(
+            placement
+                .hosts
+                .iter()
+                .chain(&placement.spares)
+                .all(|h| (h.0 as usize) < topo.hosts().len()),
+            "placement references hosts outside the fabric"
+        );
+        let hosts = placement.hosts;
+        let spares = placement.spares;
         let group: Vec<GpuId> = hosts.iter().map(|h| GpuId(h.0 * rails)).collect();
         let injected = vec![false; script.faults.len()];
+        let runner = match router {
+            Some(r) => CollectiveRunner::with_router(topo, runner_cfg, r),
+            None => CollectiveRunner::new(topo, runner_cfg),
+        };
         Engine {
             topo,
             policy,
             spec,
             script,
-            runner: CollectiveRunner::new(topo, runner_cfg),
+            runner,
             detector: OnlineDetector::new(OnlineDetectorConfig::default()),
             rng: SimRng::new(spec.seed),
             hosts,
@@ -647,6 +772,8 @@ impl<'t> Engine<'t> {
             checkpoint_s: 0.0,
             downtime_s: 0.0,
             restarts: 0,
+            abort_reason: None,
+            spares_claimed: Vec::new(),
             incidents: Vec::new(),
             injections: Vec::new(),
         }
@@ -743,6 +870,7 @@ impl<'t> Engine<'t> {
             }
 
             if !self.policy.enabled {
+                self.abort_reason = Some(AbortReason::RecoveryDisabled);
                 self.incidents.push(Incident {
                     iter: it,
                     class: if aborted.is_empty() {
@@ -799,7 +927,13 @@ impl<'t> Engine<'t> {
 
         let report = RecoveryReport {
             completed,
-            iters_done: if completed { self.spec.iters } else { 0 },
+            iters_done: if completed {
+                self.spec.iters
+            } else {
+                self.last_checkpoint
+            },
+            abort: if completed { None } else { self.abort_reason },
+            spares_claimed: self.spares_claimed,
             useful_s: self.useful_s,
             lost_rollback_s: self.lost_rollback_s,
             degraded_s: self.degraded_s,
@@ -1047,6 +1181,7 @@ impl<'t> Engine<'t> {
         // restart budget, give up.
         if attempt > self.policy.retry_budget {
             if self.restarts >= self.policy.max_restarts {
+                self.abort_reason = Some(AbortReason::RestartBudgetExhausted);
                 incident.action = MitigationAction::Abort;
                 return incident;
             }
@@ -1202,6 +1337,7 @@ impl<'t> Engine<'t> {
         if dead_hosts.is_empty() {
             // Unsteerable yet both ends alive: the fabric is partitioned
             // beyond what ECMP can route around.
+            self.abort_reason = Some(AbortReason::FabricPartitioned);
             incident.class = FaultClass::TransientLink;
             incident.action = MitigationAction::Abort;
             return incident;
@@ -1218,6 +1354,7 @@ impl<'t> Engine<'t> {
         drained: Vec<HostId>,
     ) -> Incident {
         if self.restarts >= self.policy.max_restarts {
+            self.abort_reason = Some(AbortReason::RestartBudgetExhausted);
             incident.action = MitigationAction::Abort;
             return incident;
         }
@@ -1227,10 +1364,12 @@ impl<'t> Engine<'t> {
                 continue;
             };
             let Some(spare) = self.spares.pop() else {
+                self.abort_reason = Some(AbortReason::SparesExhausted);
                 incident.action = MitigationAction::Abort;
                 incident.cordoned = drained.clone();
                 return incident;
             };
+            self.spares_claimed.push(spare);
             self.hosts[slot] = spare;
             self.group[slot] = GpuId(spare.0 * rails);
         }

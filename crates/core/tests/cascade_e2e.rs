@@ -4,9 +4,10 @@
 
 use astral_collectives::RunnerConfig;
 use astral_core::{
-    run_cascade, try_run_campaign_battery_with, try_run_cascade, try_run_training, CascadeClass,
-    CascadeScript, FaultCampaign, FaultScript, HazardRates, MitigationAction, PolicyError,
-    RecoveryPolicy, SubstrateFault, TrainingJobSpec,
+    run_cascade, try_run_campaign_battery_with, try_run_cascade, try_run_training,
+    try_run_training_battery_with, CascadeClass, CascadeScript, FaultCampaign, FaultScript,
+    HazardRates, InjectedFault, MitigationAction, PolicyError, RecoveryPolicy, SubstrateFault,
+    TrainingJobSpec,
 };
 use astral_monitor::CauseClass;
 use astral_topo::{build_astral, AstralParams, Topology};
@@ -258,6 +259,51 @@ fn seer_gate_takes_a_proactive_checkpoint_during_the_ramp() {
         r.recovery.lost_rollback_s,
         r0.recovery.lost_rollback_s
     );
+}
+
+#[test]
+fn shared_router_battery_is_byte_identical_to_private_router_runs() {
+    // The battery fast path warms one ECMP router and shares it across
+    // every run; routing is a pure function of the topology (failures are
+    // capacity-level inside each run's private simulator), so the shared
+    // router must reproduce the private-router results byte for byte —
+    // including runs whose faults force reroutes and failovers.
+    let t = topo();
+    let runs: Vec<(RecoveryPolicy, TrainingJobSpec, FaultScript)> = (0..4u64)
+        .map(|i| {
+            let spec = TrainingJobSpec {
+                iters: 16,
+                bytes: 2 << 20,
+                comp_s: 0.2,
+                seed: 31 + i,
+                ..TrainingJobSpec::default()
+            };
+            let script = FaultScript {
+                faults: vec![
+                    InjectedFault::TransientLink {
+                        at_iter: 3 + i as u32,
+                        heal_after: astral_sim::SimDuration::from_millis(40),
+                    },
+                    InjectedFault::OpticalUplink {
+                        at_iter: 8,
+                        host_index: i as usize,
+                    },
+                ],
+            };
+            (RecoveryPolicy::default(), spec, script)
+        })
+        .collect();
+    let battery =
+        try_run_training_battery_with(&astral_exec::Pool::with_threads(4), &t, &runs).unwrap();
+    for ((policy, spec, script), shared) in runs.iter().zip(&battery) {
+        let private = try_run_training(&t, policy, spec, script).unwrap();
+        assert_eq!(
+            shared.fingerprint(),
+            private.fingerprint(),
+            "shared-router battery diverged for seed {}",
+            spec.seed
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,45 @@
+//! # astral-fleet — fleet-level multi-tenant scheduling
+//!
+//! The layer above a single training job: a seeded job-arrival workload
+//! ([`generate_workload`]) is admitted onto one fabric by a placement
+//! engine with pluggable policies ([`PlacementStrategy`]: first-fit,
+//! rail-affine, blast-radius-aware spreading across the power/cooling
+//! failure domains), and a fleet controller ([`run_fleet_campaign`])
+//! drives every admitted segment through the cascade engine with
+//! queueing, priority preemption, requeue-on-abort under bounded retry
+//! budgets, and a shared spare pool with fleet-wide claim competition.
+//!
+//! Everything is deterministic: identical campaigns yield byte-identical
+//! [`FleetReport`] fingerprints at any `ASTRAL_THREADS` width, because
+//! every scheduling decision is made serially and only the independent
+//! segment simulations fan out.
+//!
+//! ```
+//! use astral_fleet::{run_fleet_campaign, FleetCampaign, FleetPolicy, WorkloadConfig};
+//! use astral_topo::{build_astral, AstralParams};
+//!
+//! let topo = build_astral(&AstralParams::sim_small());
+//! let campaign = FleetCampaign {
+//!     workload: WorkloadConfig { jobs: 3, ..WorkloadConfig::default() },
+//!     ..FleetCampaign::default()
+//! };
+//! let report = run_fleet_campaign(&topo, &FleetPolicy::default(), &campaign);
+//! assert_eq!(report.jobs.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod controller;
+mod placement;
+mod policy;
+mod report;
+mod workload;
+
+pub use controller::{
+    run_fleet_campaign, try_run_fleet_campaign, try_run_fleet_campaign_with, FleetCampaign,
+    FleetFault, FleetFaultConfig, FleetFaultKind, EST_ITER_OVERHEAD,
+};
+pub use placement::{PlacementEngine, PlacementError, ROWS_PER_CDU_LOOP};
+pub use policy::{FleetError, FleetPolicy, PlacementStrategy};
+pub use report::{FleetReport, JobOutcome, JobStatus};
+pub use workload::{generate_workload, JobClass, JobRequest, WorkloadConfig};

@@ -1,0 +1,261 @@
+//! Fleet scheduling policy: the placement × spare-pool × preemption axis
+//! the `fig_fleet_campaign` sweep explores, with typed validation
+//! mirroring [`RecoveryPolicy::validate`].
+
+use astral_core::{PolicyError, RecoveryPolicy};
+
+/// How the placement engine maps a tenant onto free hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementStrategy {
+    /// Naive packing: lowest free host ids first. Minimizes fragmentation,
+    /// maximizes blast radius — a whole tenant can sit in one rack row.
+    FirstFit,
+    /// Pack the tenant into one block (rail-affine: collectives stay
+    /// block-local), falling back to first-fit when no block fits.
+    RailAffine,
+    /// Stripe the tenant across power/cooling failure domains so no
+    /// single rack-row cascade can take out more of it than the spare
+    /// grant covers.
+    BlastRadiusSpread,
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlacementStrategy::FirstFit => "first_fit",
+            PlacementStrategy::RailAffine => "rail_affine",
+            PlacementStrategy::BlastRadiusSpread => "blast_radius",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The fleet controller's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetPolicy {
+    /// Placement strategy for every tenant.
+    pub placement: PlacementStrategy,
+    /// Hosts reserved fleet-wide as a shared spare pool (taken off the
+    /// schedulable free set).
+    pub spare_pool: usize,
+    /// Spares granted to each admitted job from the pool (claims compete:
+    /// a grant is capped by what is left in the pool at admission).
+    pub spares_per_job: usize,
+    /// Preempt lower-priority running jobs when a higher-priority job
+    /// cannot place.
+    pub preemption: bool,
+    /// Requeue aborted (or preempted) jobs with their remaining
+    /// iterations.
+    pub requeue: bool,
+    /// Requeues allowed per job before it is declared failed.
+    pub retry_budget: u32,
+    /// Wall-clock to repair a cordoned host before it rejoins the fleet.
+    pub host_repair_s: f64,
+    /// Per-job recovery policy handed to the training engine.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            placement: PlacementStrategy::BlastRadiusSpread,
+            spare_pool: 4,
+            spares_per_job: 2,
+            preemption: true,
+            requeue: true,
+            retry_budget: 2,
+            host_repair_s: 600.0,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// A nonsensical [`FleetPolicy`] knob combination, rejected before a
+/// campaign starts (mirroring [`RecoveryPolicy::validate`]): silently
+/// running a fleet with no recovery lever, or a requeue loop that can
+/// never fire, wastes an entire campaign before anyone notices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetError {
+    /// `spare_pool` is 0 while preemption is disabled: a cordon has no
+    /// spare to claim and no capacity can be preempted to make one — the
+    /// first hard fault strands its tenant with no fleet-level recourse.
+    NoRecoveryLever,
+    /// Requeue is enabled but `retry_budget` is 0: every abort is final
+    /// and the requeue path can never fire.
+    ZeroRetryBudget,
+    /// `spares_per_job` exceeds `spare_pool`: no job could ever receive
+    /// its nominal grant.
+    GrantExceedsPool {
+        /// Spares each job is promised.
+        grant: usize,
+        /// Spares the pool holds.
+        pool: usize,
+    },
+    /// `host_repair_s` is negative or non-finite.
+    BadRepairCost {
+        /// The offending value, seconds.
+        value: f64,
+    },
+    /// The inner per-job recovery policy is invalid.
+    Recovery(PolicyError),
+    /// The spare pool plus the largest job exceed the fleet (checked at
+    /// campaign start, when the topology is known).
+    PoolExceedsFleet {
+        /// Spare-pool hosts requested.
+        pool: usize,
+        /// Hosts in the fleet.
+        fleet: usize,
+    },
+    /// The workload is empty: a campaign needs at least one job.
+    EmptyWorkload,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoRecoveryLever => write!(
+                f,
+                "spare_pool is 0 with preemption disabled: no fleet-level recovery lever"
+            ),
+            FleetError::ZeroRetryBudget => {
+                write!(f, "retry_budget must be at least 1 when requeue is enabled")
+            }
+            FleetError::GrantExceedsPool { grant, pool } => write!(
+                f,
+                "spares_per_job {grant} exceeds the {pool}-host spare pool"
+            ),
+            FleetError::BadRepairCost { value } => {
+                write!(
+                    f,
+                    "host_repair_s must be finite and non-negative, got {value}"
+                )
+            }
+            FleetError::Recovery(e) => write!(f, "recovery policy: {e}"),
+            FleetError::PoolExceedsFleet { pool, fleet } => {
+                write!(
+                    f,
+                    "spare pool of {pool} hosts exceeds the {fleet}-host fleet"
+                )
+            }
+            FleetError::EmptyWorkload => write!(f, "a fleet campaign needs at least one job"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<PolicyError> for FleetError {
+    fn from(e: PolicyError) -> Self {
+        FleetError::Recovery(e)
+    }
+}
+
+impl FleetPolicy {
+    /// The naive baseline the headline bench contrasts against: first-fit
+    /// packing, no spares, no preemption-free — preemption stays on so the
+    /// policy is valid, but there is nothing blast-radius-aware about it.
+    pub fn naive_packing() -> Self {
+        FleetPolicy {
+            placement: PlacementStrategy::FirstFit,
+            spare_pool: 0,
+            spares_per_job: 0,
+            preemption: true,
+            ..FleetPolicy::default()
+        }
+    }
+
+    /// Reject nonsensical knob combinations at construction time instead
+    /// of letting them waste (or silently skew) a whole campaign.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.spare_pool == 0 && !self.preemption {
+            return Err(FleetError::NoRecoveryLever);
+        }
+        if self.requeue && self.retry_budget == 0 {
+            return Err(FleetError::ZeroRetryBudget);
+        }
+        if self.spare_pool > 0 && self.spares_per_job > self.spare_pool {
+            return Err(FleetError::GrantExceedsPool {
+                grant: self.spares_per_job,
+                pool: self.spare_pool,
+            });
+        }
+        if !self.host_repair_s.is_finite() || self.host_repair_s < 0.0 {
+            return Err(FleetError::BadRepairCost {
+                value: self.host_repair_s,
+            });
+        }
+        self.recovery.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        assert_eq!(FleetPolicy::default().validate(), Ok(()));
+        assert_eq!(FleetPolicy::naive_packing().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_spares_without_preemption_is_rejected() {
+        let p = FleetPolicy {
+            spare_pool: 0,
+            preemption: false,
+            ..FleetPolicy::default()
+        };
+        assert_eq!(p.validate(), Err(FleetError::NoRecoveryLever));
+    }
+
+    #[test]
+    fn zero_retry_budget_with_requeue_is_rejected() {
+        let p = FleetPolicy {
+            requeue: true,
+            retry_budget: 0,
+            ..FleetPolicy::default()
+        };
+        assert_eq!(p.validate(), Err(FleetError::ZeroRetryBudget));
+    }
+
+    #[test]
+    fn grant_beyond_pool_is_rejected() {
+        let p = FleetPolicy {
+            spare_pool: 2,
+            spares_per_job: 3,
+            ..FleetPolicy::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(FleetError::GrantExceedsPool { grant: 3, pool: 2 })
+        );
+    }
+
+    #[test]
+    fn invalid_recovery_policy_propagates() {
+        let p = FleetPolicy {
+            recovery: RecoveryPolicy {
+                checkpoint_interval: 0,
+                ..RecoveryPolicy::default()
+            },
+            ..FleetPolicy::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(FleetError::Recovery(PolicyError::ZeroCheckpointInterval))
+        );
+    }
+
+    #[test]
+    fn bad_repair_cost_is_rejected() {
+        let p = FleetPolicy {
+            host_repair_s: f64::NAN,
+            ..FleetPolicy::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(FleetError::BadRepairCost { .. })
+        ));
+    }
+}

@@ -164,6 +164,24 @@ impl ModelConfig {
         self.moe.is_some()
     }
 
+    /// A reduced-depth variant of the same architecture — the
+    /// simulation-scale knob: a fleet workload generator varies job sizes
+    /// by shrinking layer count while keeping the layer shape (and thus
+    /// the per-layer arithmetic) faithful to the template.
+    pub fn with_layers(&self, layers: u32) -> Self {
+        ModelConfig {
+            name: format!("{}-L{layers}", self.name),
+            layers: layers.max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Gradient bytes exchanged per data-parallel AllReduce step: every
+    /// parameter's gradient at training precision.
+    pub fn grad_bytes(&self) -> u64 {
+        self.param_count() * self.dtype_bytes as u64
+    }
+
     /// Key/value projection width (GQA shrinks it).
     pub fn kv_dim(&self) -> u64 {
         self.hidden * self.kv_heads as u64 / self.heads as u64
@@ -305,6 +323,19 @@ mod tests {
         let fd = dense_equiv.fwd_flops_per_token_layer(1);
         // MoE top-8 FFN ≈ 8 × dense-FFN flops (attention part shared).
         assert!(fm > fd * 3.0 && fm < fd * 8.0);
+    }
+
+    #[test]
+    fn with_layers_scales_depth_only() {
+        let full = ModelConfig::llama3_8b();
+        let small = full.with_layers(4);
+        assert_eq!(small.layers, 4);
+        assert_eq!(small.hidden, full.hidden);
+        assert_eq!(small.params_per_layer(), full.params_per_layer());
+        assert!(small.param_count() < full.param_count());
+        assert_eq!(small.grad_bytes(), small.param_count() * 2);
+        // Degenerate depth clamps to one layer instead of a zero model.
+        assert_eq!(full.with_layers(0).layers, 1);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Power failure domains: which hosts share one HVDC unit.
+//!
+//! Each distributed HVDC unit powers one row of racks (paper §2.2), so a
+//! rectifier trip or grid sag blasts *exactly* that row. A fleet placement
+//! policy that wants to bound a tenant's power blast radius needs to ask
+//! "which hosts go down together?" — this module answers that without
+//! depending on the network-topology crate: domains are plain host-id
+//! groups, built by the caller from whatever physical layout it has (the
+//! cascade engine's rack rows, a real DCIM export, ...).
+
+use crate::PowerError;
+use std::collections::HashMap;
+
+/// The power failure-domain map: one entry per HVDC unit, each a group of
+/// hosts that lose (or cap) power together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerDomains {
+    rows: Vec<Vec<u32>>,
+    host_domain: HashMap<u32, usize>,
+}
+
+impl PowerDomains {
+    /// Build from per-unit host groups. Panics on invalid input; use
+    /// [`PowerDomains::try_new`] to handle the error instead.
+    pub fn new(rows: Vec<Vec<u32>>) -> Self {
+        match Self::try_new(rows) {
+            Ok(d) => d,
+            Err(e) => panic!("PowerDomains: {e}"),
+        }
+    }
+
+    /// Build from per-unit host groups, rejecting empty domains and hosts
+    /// claimed by two units (a host has exactly one power feed).
+    pub fn try_new(rows: Vec<Vec<u32>>) -> Result<Self, PowerError> {
+        let mut host_domain = HashMap::new();
+        for (d, row) in rows.iter().enumerate() {
+            if row.is_empty() {
+                return Err(PowerError::EmptyDomain { domain: d });
+            }
+            for &h in row {
+                if host_domain.insert(h, d).is_some() {
+                    return Err(PowerError::DuplicateHost { host: h });
+                }
+            }
+        }
+        Ok(PowerDomains { rows, host_domain })
+    }
+
+    /// Number of HVDC units.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no domains are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The unit feeding `host`, if mapped.
+    pub fn domain_of(&self, host: u32) -> Option<usize> {
+        self.host_domain.get(&host).copied()
+    }
+
+    /// Hosts behind unit `domain`.
+    pub fn hosts_in(&self, domain: usize) -> &[u32] {
+        &self.rows[domain]
+    }
+
+    /// Distinct units a host set touches — the denominator of a spread
+    /// policy (more domains touched ⇒ smaller per-domain loss).
+    pub fn spread(&self, hosts: &[u32]) -> usize {
+        let mut seen = vec![false; self.rows.len()];
+        let mut n = 0;
+        for &h in hosts {
+            if let Some(d) = self.domain_of(h) {
+                if !seen[d] {
+                    seen[d] = true;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Largest share of `hosts` behind any single unit — the tenant's
+    /// worst-case loss when one HVDC unit trips (the blast-radius metric
+    /// a spreading placement minimizes).
+    pub fn max_colocated(&self, hosts: &[u32]) -> usize {
+        let mut per = vec![0usize; self.rows.len()];
+        let mut worst = 0;
+        for &h in hosts {
+            if let Some(d) = self.domain_of(h) {
+                per[d] += 1;
+                worst = worst.max(per[d]);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_hosts_to_units() {
+        let d = PowerDomains::new(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.domain_of(4), Some(1));
+        assert_eq!(d.domain_of(9), None);
+        assert_eq!(d.hosts_in(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn spread_and_colocation_measure_blast_radius() {
+        let d = PowerDomains::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        // Packed: everything behind one unit.
+        assert_eq!(d.spread(&[0, 1, 2, 3]), 1);
+        assert_eq!(d.max_colocated(&[0, 1, 2, 3]), 4);
+        // Spread: half the loss on any single trip.
+        assert_eq!(d.spread(&[0, 1, 4, 5]), 2);
+        assert_eq!(d.max_colocated(&[0, 1, 4, 5]), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_domains() {
+        assert_eq!(
+            PowerDomains::try_new(vec![vec![0], vec![]]),
+            Err(PowerError::EmptyDomain { domain: 1 })
+        );
+        assert_eq!(
+            PowerDomains::try_new(vec![vec![0, 1], vec![1, 2]]),
+            Err(PowerError::DuplicateHost { host: 1 })
+        );
+    }
+}

@@ -8,13 +8,17 @@
 //! * [`power_trace`] — GPU power traces from Seer timelines (Figure 15)
 //!   and the daily tidal model with night-scheduled training (Figure 16).
 //! * [`RenewableFleet`] — solar/wind supplement and CO₂ accounting.
+//! * [`PowerDomains`] — which hosts share one HVDC unit: the power
+//!   failure-domain query a blast-radius-aware fleet placement asks.
 
 #![warn(missing_docs)]
 
+mod domains;
 mod hvdc;
 mod renewable;
 mod trace;
 
+pub use domains::PowerDomains;
 pub use hvdc::{HvdcUnit, PowerChain, PowerError, RackPower};
 pub use renewable::{co2_avoided_kg, paper_renewable_kwh, RenewableFleet, GRID_KG_CO2_PER_KWH};
 pub use trace::{peak_over_tdp, power_trace, DailyLoadModel, PowerIntensity};

@@ -24,6 +24,7 @@
 //! | [`power`] | HVDC, power traces, renewables |
 //! | [`cooling`] | airflow thermal model, PUE |
 //! | [`core`] | the orchestration facade |
+//! | [`fleet`] | multi-tenant fleet scheduler: workloads, placement, spare pool |
 //!
 //! Start with [`core::AstralInfrastructure`] or the `examples/` directory.
 
@@ -31,6 +32,7 @@ pub use astral_collectives as collectives;
 pub use astral_cooling as cooling;
 pub use astral_core as core;
 pub use astral_exec as exec;
+pub use astral_fleet as fleet;
 pub use astral_model as model;
 pub use astral_monitor as monitor;
 pub use astral_net as net;
