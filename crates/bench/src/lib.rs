@@ -16,9 +16,10 @@
 //!          fig15_power_iterations fig16_power_tidal \
 //!          fig17_ecmp_reassignment fig18_crossdc_pp_oversub \
 //!          fig19_scaling_efficiency fig_cascade_ablation \
-//!          ablation_hash_salt ablation_rail_design appa_ecmp_rationale \
-//!          appc_monitor_overhead table1_llama3_operators \
-//!          perf_solver_alltoall perf_parallel_campaigns; do
+//!          fig_fleet_campaign ablation_hash_salt ablation_rail_design \
+//!          appa_ecmp_rationale appc_monitor_overhead \
+//!          table1_llama3_operators perf_solver_alltoall \
+//!          perf_parallel_campaigns perf_frontier; do
 //!   cargo run --release -p astral-bench --bin $f ;
 //! done
 //! ```
@@ -26,8 +27,10 @@
 //! Reports land in `$ASTRAL_BENCH_DIR` (default: the working directory).
 //! `validate_bench` checks every emitted report for the required schema
 //! and that its id is a known one; `perf_solver_alltoall` records the
-//! incremental-vs-full solver speedup, and `perf_parallel_campaigns`
-//! records the serial-vs-parallel campaign-battery speedup together with
+//! incremental-vs-full solver speedup, `perf_frontier` records the
+//! sharded-vs-global frontier speedup at 8K–512K GPUs, and
+//! `perf_parallel_campaigns` records the serial-vs-parallel
+//! campaign-battery speedup together with
 //! the byte-identical determinism check (`ASTRAL_THREADS` sets the width).
 //!
 //! Criterion micro-benchmarks (event queue, routing, fairness, the
@@ -79,7 +82,7 @@ impl Report {
     /// reports whose id is not on this list (a typo'd or stale id would
     /// otherwise silently pass schema validation). Keep in sync with the
     /// `Scenario::new` call of each bin.
-    pub const KNOWN_IDS: [&'static str; 26] = [
+    pub const KNOWN_IDS: [&'static str; 27] = [
         "ablation_hash_salt",
         "ablation_rail_design",
         "appa",
@@ -103,6 +106,7 @@ impl Report {
         "fig18",
         "fig19",
         "fleet_campaign",
+        "perf_frontier",
         "perf_parallel_campaigns",
         "perf_solver_alltoall",
         "table1",

@@ -214,8 +214,32 @@ impl<'a> CollectiveRunner<'a> {
         self.run_schedule(group, &phase1)
     }
 
-    /// Execute a rank-level schedule on `group`.
+    /// Execute a rank-level schedule on `group`. Thin driver over
+    /// [`CollectiveRunner::run_stream`]: each step is copied into the
+    /// reused step buffer.
     pub fn run_schedule(&mut self, group: &[GpuId], schedule: &Schedule) -> CollectiveResult {
+        self.run_stream(group, |k, buf| {
+            let Some(step) = schedule.steps.get(k) else {
+                return false;
+            };
+            buf.clear();
+            buf.extend_from_slice(step);
+            true
+        })
+    }
+
+    /// Execute a collective whose steps are *generated on demand*:
+    /// `next_step(k, buf)` fills the reused buffer with step `k`'s
+    /// transfers and returns `false` when the schedule is exhausted. This
+    /// is the frontier-scale entry point — a 512K-rank AllReduce streams
+    /// one step of transfers at a time into the simulator's solver domains
+    /// instead of materializing the cluster-wide `Vec<Vec<Transfer>>`
+    /// (see [`crate::plan::ring_all_reduce_step_into`]).
+    pub fn run_stream(
+        &mut self,
+        group: &[GpuId],
+        mut next_step: impl FnMut(usize, &mut Vec<Transfer>) -> bool,
+    ) -> CollectiveResult {
         let topo = self.sim.topology();
         let hb = topo.hb_domain();
         let group_id = self.group_ctr;
@@ -224,19 +248,27 @@ impl<'a> CollectiveRunner<'a> {
         let start = self.sim.now();
         let solver_before = self.sim.solver_counters();
         let mut virtual_now = start;
-        let mut step_durations = Vec::with_capacity(schedule.steps.len());
+        let mut step_durations = Vec::new();
         let mut network_bytes = 0u64;
         let mut nvlink_bytes = 0u64;
         let mut failed = 0usize;
 
-        for step in &schedule.steps {
-            let step_start = virtual_now;
-            // NVLink load per GPU (egress and ingress).
-            let mut nv_out: HashMap<GpuId, u64> = HashMap::new();
-            let mut nv_in: HashMap<GpuId, u64> = HashMap::new();
-            let mut flow_ids = Vec::new();
+        // Reused across steps: one step's transfers, its flow ids, and the
+        // NVLink load tallies.
+        let mut step_buf: Vec<Transfer> = Vec::new();
+        let mut flow_ids: Vec<astral_net::FlowId> = Vec::new();
+        let mut nv_out: HashMap<GpuId, u64> = HashMap::new();
+        let mut nv_in: HashMap<GpuId, u64> = HashMap::new();
 
-            for &Transfer { src, dst, bytes } in step {
+        let mut k = 0usize;
+        while next_step(k, &mut step_buf) {
+            k += 1;
+            let step_start = virtual_now;
+            nv_out.clear();
+            nv_in.clear();
+            flow_ids.clear();
+
+            for &Transfer { src, dst, bytes } in &step_buf {
                 if bytes == 0 || src == dst {
                     continue;
                 }
@@ -561,6 +593,28 @@ mod tests {
         let res = r.send(GpuId(0), GpuId(32), 1 << 20);
         assert_eq!(res.network_bytes, 1 << 20);
         assert_eq!(res.step_durations.len(), 1);
+    }
+
+    #[test]
+    fn streamed_ring_allreduce_matches_materialized_schedule() {
+        use crate::plan::ring_all_reduce_step_into;
+        let t = topo();
+        let group = rail0_group(&t, 8);
+        let bytes = 64u64 << 20;
+
+        let mut mat_runner = CollectiveRunner::new(&t, RunnerConfig::default());
+        let mat = mat_runner.all_reduce_flat(&group, bytes);
+
+        let n = group.len();
+        let mut stream_runner = CollectiveRunner::new(&t, RunnerConfig::default());
+        let streamed =
+            stream_runner.run_stream(&group, |k, buf| ring_all_reduce_step_into(n, bytes, k, buf));
+
+        assert_eq!(streamed.duration, mat.duration);
+        assert_eq!(streamed.step_durations, mat.step_durations);
+        assert_eq!(streamed.network_bytes, mat.network_bytes);
+        assert_eq!(streamed.nvlink_bytes, mat.nvlink_bytes);
+        assert_eq!(streamed.failed_flows, mat.failed_flows);
     }
 
     #[test]

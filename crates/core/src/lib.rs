@@ -44,7 +44,7 @@ pub use infra::{AstralInfrastructure, JobEvaluation};
 pub use placement::{place_job, pods_touched, PlacementPolicy};
 pub use recovery::{
     run_training, run_training_battery, try_run_training, try_run_training_battery_with,
-    try_run_training_placed, AbortReason, FaultClass, FaultScript, Incident, InjectedFault,
-    InjectionRecord, JobPlacement, MitigationAction, PolicyError, RecoveryPolicy, RecoveryReport,
-    TrainingJobSpec, TrainingRun,
+    try_run_training_placed, try_run_training_placed_with, AbortReason, FaultClass, FaultScript,
+    Incident, InjectedFault, InjectionRecord, JobPlacement, MitigationAction, PolicyError,
+    RecoveryPolicy, RecoveryReport, TrainingJobSpec, TrainingRun,
 };

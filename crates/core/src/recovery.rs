@@ -592,13 +592,37 @@ pub fn try_run_training_placed(
     placement: &JobPlacement,
     router: Option<Arc<Router>>,
 ) -> Result<RecoveryReport, PolicyError> {
+    try_run_training_placed_with(
+        topo,
+        policy,
+        spec,
+        script,
+        placement,
+        router,
+        RunnerConfig::default(),
+    )
+}
+
+/// [`try_run_training_placed`] with an explicit [`RunnerConfig`] — the
+/// hook that threads simulator configuration through a full training run,
+/// e.g. `NetConfig::sharded_solver` to run the job on the per-pod sharded
+/// rate solver instead of the global one.
+pub fn try_run_training_placed_with(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    script: &FaultScript,
+    placement: &JobPlacement,
+    router: Option<Arc<Router>>,
+    runner_cfg: RunnerConfig,
+) -> Result<RecoveryReport, PolicyError> {
     policy.validate()?;
     let engine = Engine::new(
         topo,
         *policy,
         *spec,
         script.clone(),
-        RunnerConfig::default(),
+        runner_cfg,
         None,
         placement.clone(),
         router,

@@ -377,8 +377,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Identical campaign seeds produce byte-identical reports — across
-    /// repeated runs *and* across the incremental vs full-rebuild rate
-    /// solvers (whose counters are excluded from the fingerprint).
+    /// repeated runs, across the incremental vs full-rebuild rate
+    /// solvers, *and* across the global vs per-pod sharded solver (whose
+    /// counters are excluded from the fingerprint).
     #[test]
     fn campaign_reports_are_byte_identical_across_runs_and_solvers(seed in 0u64..1000) {
         let t = topo();
@@ -402,6 +403,10 @@ proptest! {
         full.net.incremental_solver = false;
         let c = try_run_cascade(&t, &policy, &spec, &script, full).unwrap();
         prop_assert_eq!(a.fingerprint(), c.fingerprint());
+        let mut sharded = RunnerConfig::default();
+        sharded.net.sharded_solver = true;
+        let d = try_run_cascade(&t, &policy, &spec, &script, sharded).unwrap();
+        prop_assert_eq!(a.fingerprint(), d.fingerprint());
     }
 }
 

@@ -116,9 +116,10 @@ fn fleet_fingerprint_is_pool_width_and_solver_invariant() {
     .unwrap()
     .fingerprint();
     for threads in [1, 2, 8] {
-        for incremental in [true, false] {
+        for (incremental, sharded) in [(true, false), (true, true), (false, false)] {
             let mut cfg = RunnerConfig::default();
             cfg.net.incremental_solver = incremental;
+            cfg.net.sharded_solver = sharded;
             let fp = try_run_fleet_campaign_with(
                 &Pool::with_threads(threads),
                 &t,
@@ -130,7 +131,8 @@ fn fleet_fingerprint_is_pool_width_and_solver_invariant() {
             .fingerprint();
             assert_eq!(
                 baseline, fp,
-                "fingerprint diverged at {threads} threads, incremental={incremental}"
+                "fingerprint diverged at {threads} threads, \
+                 incremental={incremental}, sharded={sharded}"
             );
         }
     }

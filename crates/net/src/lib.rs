@@ -35,6 +35,7 @@ mod controller;
 mod fairness;
 mod fivetuple;
 mod hash;
+mod shard;
 mod sim;
 mod solver;
 mod telemetry;
@@ -43,6 +44,7 @@ pub use controller::{simulate_route, EcmpController, PlannedFlow};
 pub use fairness::{check_bottleneck_property, max_min_rates, max_min_rates_seed};
 pub use fivetuple::{ip_of_nic, FiveTuple, QpContext, QpId, EPHEMERAL_BASE, ROCE_PORT};
 pub use hash::{sport_layer, EcmpHasher, SaltMode};
+pub use shard::{DomainPartition, ShardError, ShardedSolver};
 pub use sim::{
     FlowEvent, FlowId, FlowSpec, FlowState, FlowStats, IntHop, IntProbe, NetConfig, NetworkSim,
 };

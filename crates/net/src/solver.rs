@@ -48,6 +48,11 @@ pub struct SolverCounters {
     pub component_flows: u64,
     /// Links swept into dirty components (incremental solves only).
     pub component_links: u64,
+    /// High-water mark of the simulator's flat path-arena backing store,
+    /// in bytes — a peak-RSS proxy for the allocation diet. Unlike the
+    /// other counters this is a peak, not a sum: `merge` takes the max and
+    /// `since` keeps the current peak.
+    pub peak_arena_bytes: u64,
 }
 
 impl SolverCounters {
@@ -60,10 +65,12 @@ impl SolverCounters {
         self.links_scanned += other.links_scanned;
         self.component_flows += other.component_flows;
         self.component_links += other.component_links;
+        self.peak_arena_bytes = self.peak_arena_bytes.max(other.peak_arena_bytes);
     }
 
     /// Counter delta since an `earlier` snapshot of the same solver
-    /// (counters are monotonic, so plain saturating subtraction).
+    /// (counters are monotonic, so plain saturating subtraction; the
+    /// arena peak stays a peak — deltas of a high-water mark would lie).
     pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
         SolverCounters {
             events: self.events.saturating_sub(earlier.events),
@@ -75,6 +82,7 @@ impl SolverCounters {
             links_scanned: self.links_scanned.saturating_sub(earlier.links_scanned),
             component_flows: self.component_flows.saturating_sub(earlier.component_flows),
             component_links: self.component_links.saturating_sub(earlier.component_links),
+            peak_arena_bytes: self.peak_arena_bytes,
         }
     }
 }
@@ -129,8 +137,14 @@ pub struct FairShareSolver {
     epoch: u32,
     comp_links: Vec<u32>,
     comp_flows: Vec<u32>,
+    /// BFS frontier position within `comp_links` (stepwise expansion).
+    comp_head: usize,
     loaded: Vec<u32>,
     changed: Vec<u32>,
+    /// Per-link saturation threshold for the current fill (from capacity).
+    sat_thresh: Vec<f64>,
+    /// Water level of the fill in progress (rate per unit weight).
+    fill_level: f64,
 
     counters: SolverCounters,
 }
@@ -160,8 +174,11 @@ impl FairShareSolver {
             epoch: 0,
             comp_links: Vec::new(),
             comp_flows: Vec::new(),
+            comp_head: 0,
             loaded: Vec::new(),
             changed: Vec::new(),
+            sat_thresh: vec![0.0; nl],
+            fill_level: 0.0,
             counters: SolverCounters::default(),
         }
     }
@@ -341,31 +358,11 @@ impl FairShareSolver {
         debug_assert_eq!(cap.len(), self.nl);
         self.counters.full_solves += 1;
         self.clear_dirty();
-        self.epoch += 1;
-
-        let mut comp_links = std::mem::take(&mut self.comp_links);
-        let mut comp_flows = std::mem::take(&mut self.comp_flows);
-        comp_links.clear();
-        comp_flows.clear();
-        for l in 0..self.nl {
-            if !self.link_flows[l].is_empty() {
-                self.link_mark[l] = self.epoch;
-                comp_links.push(l as u32);
-            }
-        }
-        comp_flows.extend_from_slice(&self.active);
-        for &f in &comp_flows {
-            self.flow_mark[f as usize] = self.epoch;
-        }
-
-        self.water_fill(cap, &comp_links, &comp_flows);
-
+        self.comp_begin();
+        self.comp_seed_all();
+        self.fill_run(|l| cap[l as usize]);
         self.changed.clear();
-        let mut changed = std::mem::take(&mut self.changed);
-        changed.extend_from_slice(&comp_flows);
-        self.changed = changed;
-        self.comp_links = comp_links;
-        self.comp_flows = comp_flows;
+        self.changed.extend_from_slice(&self.comp_flows);
         self.rebuild_link_used_full();
     }
 
@@ -380,63 +377,14 @@ impl FairShareSolver {
             return;
         }
         self.counters.incremental_solves += 1;
-        self.epoch += 1;
-
-        // BFS over the bipartite incidence graph, seeded at dirty links.
-        let mut comp_links = std::mem::take(&mut self.comp_links);
-        let mut comp_flows = std::mem::take(&mut self.comp_flows);
-        comp_links.clear();
-        comp_flows.clear();
-        for i in 0..self.dirty_links.len() {
-            let l = self.dirty_links[i];
-            if self.link_mark[l as usize] != self.epoch {
-                self.link_mark[l as usize] = self.epoch;
-                comp_links.push(l);
-            }
-        }
-        let mut head = 0;
-        while head < comp_links.len() {
-            let l = comp_links[head] as usize;
-            head += 1;
-            for i in 0..self.link_flows[l].len() {
-                let (f, _) = self.link_flows[l][i];
-                if self.flow_mark[f as usize] != self.epoch {
-                    self.flow_mark[f as usize] = self.epoch;
-                    comp_flows.push(f);
-                    for &l2 in self.path[f as usize].iter() {
-                        if self.link_mark[l2 as usize] != self.epoch {
-                            self.link_mark[l2 as usize] = self.epoch;
-                            comp_links.push(l2);
-                        }
-                    }
-                }
-            }
-        }
-        self.counters.component_links += comp_links.len() as u64;
-        self.counters.component_flows += comp_flows.len() as u64;
+        self.comp_begin();
+        self.comp_seed_dirty();
+        self.comp_expand(None);
+        self.counters.component_links += self.comp_links.len() as u64;
+        self.counters.component_flows += self.comp_flows.len() as u64;
         self.clear_dirty();
-
-        self.water_fill(cap, &comp_links, &comp_flows);
-
-        // Re-derive the aggregates for component links only.
-        for &l in &comp_links {
-            self.link_used[l as usize] = 0.0;
-        }
-        for &f in &comp_flows {
-            let r = self.rate[f as usize];
-            if r.is_finite() {
-                for &l in self.path[f as usize].iter() {
-                    self.link_used[l as usize] += r;
-                }
-            }
-        }
-
-        self.changed.clear();
-        let mut changed = std::mem::take(&mut self.changed);
-        changed.extend_from_slice(&comp_flows);
-        self.changed = changed;
-        self.comp_links = comp_links;
-        self.comp_flows = comp_flows;
+        self.fill_run(|l| cap[l as usize]);
+        self.fill_finish();
     }
 
     fn rebuild_link_used_full(&mut self) {
@@ -451,17 +399,123 @@ impl FairShareSolver {
         }
     }
 
-    /// Progressive-filling water-fill restricted to `(links, flows)` —
-    /// the same algorithm as [`max_min_rates`](crate::max_min_rates),
-    /// operating in place on reusable scratch. Writes `self.rate` for every
-    /// flow in `flows`.
-    fn water_fill(&mut self, cap: &[f64], links: &[u32], flows: &[u32]) {
-        self.counters.flows_resolved += flows.len() as u64;
-        for &l in links {
-            self.remaining[l as usize] = cap[l as usize];
-            self.load[l as usize] = 0.0;
+    // --- stepwise component + fill engine --------------------------------
+    //
+    // `solve_full`/`solve_dirty` above are thin drivers over these steps;
+    // the per-pod sharded solver (`crate::shard`) drives the same steps
+    // across several domains at once — gather a component (`comp_*`), then
+    // water-fill it (`fill_*`) — so the global and sharded paths share one
+    // arithmetic kernel and cannot drift.
+
+    /// Open a new component: bump the epoch and reset the gather buffers.
+    pub(crate) fn comp_begin(&mut self) {
+        self.epoch += 1;
+        self.comp_links.clear();
+        self.comp_flows.clear();
+        self.comp_head = 0;
+    }
+
+    /// Seed the component with every dirty link. Dirty flags stay set —
+    /// call [`FairShareSolver::clear_dirty`] once the component is
+    /// gathered, as the drivers do.
+    pub(crate) fn comp_seed_dirty(&mut self) {
+        for i in 0..self.dirty_links.len() {
+            let l = self.dirty_links[i];
+            if self.link_mark[l as usize] != self.epoch {
+                self.link_mark[l as usize] = self.epoch;
+                self.comp_links.push(l);
+            }
         }
-        for &f in flows {
+    }
+
+    /// Seed the full-solve component: every link carrying flows (ascending)
+    /// and every active flow, with the BFS frontier already exhausted.
+    pub(crate) fn comp_seed_all(&mut self) {
+        for l in 0..self.nl {
+            if !self.link_flows[l].is_empty() {
+                self.link_mark[l] = self.epoch;
+                self.comp_links.push(l as u32);
+            }
+        }
+        for i in 0..self.active.len() {
+            let f = self.active[i];
+            self.flow_mark[f as usize] = self.epoch;
+            self.comp_flows.push(f);
+        }
+        self.comp_head = self.comp_links.len();
+    }
+
+    /// Pull one externally-discovered flow into the component (a cross-pod
+    /// flow a sibling domain swept). Marks the flow and queues its links
+    /// for expansion; returns whether it was new to this component.
+    pub(crate) fn comp_seed_flow(&mut self, flow: u32) -> bool {
+        let fi = flow as usize;
+        if self.flow_mark[fi] == self.epoch {
+            return false;
+        }
+        self.flow_mark[fi] = self.epoch;
+        self.comp_flows.push(flow);
+        for i in 0..self.path[fi].len() {
+            let l = self.path[fi][i];
+            if self.link_mark[l as usize] != self.epoch {
+                self.link_mark[l as usize] = self.epoch;
+                self.comp_links.push(l);
+            }
+        }
+        true
+    }
+
+    /// Expand the component BFS until the link frontier is exhausted,
+    /// optionally collecting every newly swept flow (the sharded driver
+    /// inspects these for cross-domain membership).
+    pub(crate) fn comp_expand(&mut self, mut newly: Option<&mut Vec<u32>>) {
+        while self.comp_head < self.comp_links.len() {
+            let l = self.comp_links[self.comp_head] as usize;
+            self.comp_head += 1;
+            for i in 0..self.link_flows[l].len() {
+                let (f, _) = self.link_flows[l][i];
+                if self.flow_mark[f as usize] != self.epoch {
+                    self.flow_mark[f as usize] = self.epoch;
+                    self.comp_flows.push(f);
+                    if let Some(sink) = newly.as_deref_mut() {
+                        sink.push(f);
+                    }
+                    for j in 0..self.path[f as usize].len() {
+                        let l2 = self.path[f as usize][j];
+                        if self.link_mark[l2 as usize] != self.epoch {
+                            self.link_mark[l2 as usize] = self.epoch;
+                            self.comp_links.push(l2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The gathered component flows.
+    pub(crate) fn comp_flows(&self) -> &[u32] {
+        &self.comp_flows
+    }
+
+    /// The gathered component links.
+    pub(crate) fn comp_links(&self) -> &[u32] {
+        &self.comp_links
+    }
+
+    /// Initialize the water-fill over the gathered component: reset
+    /// remaining capacity / load / saturation thresholds for its links,
+    /// unfreeze its flows, and build the loaded-link scan list.
+    pub(crate) fn fill_begin<F: Fn(u32) -> f64>(&mut self, cap_of: F) {
+        self.counters.flows_resolved += self.comp_flows.len() as u64;
+        for i in 0..self.comp_links.len() {
+            let l = self.comp_links[i] as usize;
+            let cap = cap_of(l as u32);
+            self.remaining[l] = cap;
+            self.load[l] = 0.0;
+            self.sat_thresh[l] = 1e-6 * cap.max(1.0);
+        }
+        for i in 0..self.comp_flows.len() {
+            let f = self.comp_flows[i];
             let fi = f as usize;
             if self.path[fi].is_empty() {
                 self.rate[fi] = f64::INFINITY;
@@ -474,64 +528,128 @@ impl FairShareSolver {
                 self.load[l as usize] += w;
             }
         }
-
         let mut loaded = std::mem::take(&mut self.loaded);
         loaded.clear();
-        loaded.extend(links.iter().copied().filter(|&l| {
+        loaded.extend(self.comp_links.iter().copied().filter(|&l| {
             // Only links carrying unfrozen weight participate in the scan.
             self.load[l as usize] > LOAD_EPS
         }));
+        self.loaded = loaded;
+        self.fill_level = 0.0;
+    }
 
-        let mut level = 0.0f64;
-        loop {
-            // Bottleneck among loaded links only: the satellite fix — the
-            // scan never touches unloaded links.
-            self.counters.links_scanned += loaded.len() as u64;
-            let mut best: Option<(u32, f64)> = None;
-            for &l in &loaded {
-                let li = l as usize;
-                let fill = self.remaining[li] / self.load[li];
-                if best.is_none_or(|(_, b)| fill < b) {
-                    best = Some((l, fill));
-                }
+    /// One bottleneck scan: drop drained links from the scan list, then
+    /// return the strict-minimum `(link, fill)` over the still-loaded ones
+    /// — `None` when the component is exhausted. First-wins on exact ties,
+    /// like the oracle.
+    pub(crate) fn fill_min(&mut self) -> Option<(u32, f64)> {
+        let mut loaded = std::mem::take(&mut self.loaded);
+        loaded.retain(|&l| self.load[l as usize] > LOAD_EPS);
+        self.counters.links_scanned += loaded.len() as u64;
+        let mut best: Option<(u32, f64)> = None;
+        for &l in &loaded {
+            let li = l as usize;
+            let fill = self.remaining[li] / self.load[li];
+            if best.is_none_or(|(_, b)| fill < b) {
+                best = Some((l, fill));
             }
-            let Some((bottleneck, delta)) = best else {
-                break;
-            };
-            let delta = delta.max(0.0);
-            level += delta;
-
-            for &l in &loaded {
-                let li = l as usize;
-                self.remaining[li] = (self.remaining[li] - delta * self.load[li]).max(0.0);
-            }
-
-            // Freeze flows on links that just saturated; the bottleneck is
-            // always included so float noise can never stall the loop.
-            for &l in &loaded {
-                let li = l as usize;
-                let saturated = self.remaining[li] <= 1e-6 * cap[li].max(1.0);
-                if !(saturated || l == bottleneck) {
-                    continue;
-                }
-                for i in 0..self.link_flows[li].len() {
-                    let (f, _) = self.link_flows[li][i];
-                    let fi = f as usize;
-                    if self.frozen[fi] == self.epoch {
-                        continue;
-                    }
-                    self.frozen[fi] = self.epoch;
-                    let w = self.weight[fi];
-                    self.rate[fi] = level * w;
-                    for &l2 in self.path[fi].iter() {
-                        self.load[l2 as usize] -= w;
-                    }
-                }
-                self.load[li] = self.load[li].max(0.0);
-            }
-            loaded.retain(|&l| self.load[l as usize] > LOAD_EPS);
         }
         self.loaded = loaded;
+        best
+    }
+
+    /// Advance the fill level by `delta` and drain the loaded links. Flows
+    /// on links that just saturated (or on the designated `bottleneck`,
+    /// always included so float noise can never stall the loop) freeze at
+    /// the new level; each newly frozen flow is reported to `frozen_out`
+    /// when supplied (the sharded driver propagates cross-pod freezes to
+    /// sibling domains within the same round).
+    pub(crate) fn fill_drain(
+        &mut self,
+        delta: f64,
+        bottleneck: Option<u32>,
+        mut frozen_out: Option<&mut Vec<u32>>,
+    ) {
+        self.fill_level += delta;
+        let loaded = std::mem::take(&mut self.loaded);
+        for &l in &loaded {
+            let li = l as usize;
+            self.remaining[li] = (self.remaining[li] - delta * self.load[li]).max(0.0);
+        }
+        for &l in &loaded {
+            let li = l as usize;
+            let saturated = self.remaining[li] <= self.sat_thresh[li];
+            if !(saturated || Some(l) == bottleneck) {
+                continue;
+            }
+            for i in 0..self.link_flows[li].len() {
+                let (f, _) = self.link_flows[li][i];
+                let fi = f as usize;
+                if self.frozen[fi] == self.epoch {
+                    continue;
+                }
+                self.frozen[fi] = self.epoch;
+                let w = self.weight[fi];
+                self.rate[fi] = self.fill_level * w;
+                for &l2 in self.path[fi].iter() {
+                    self.load[l2 as usize] -= w;
+                }
+                if let Some(sink) = frozen_out.as_deref_mut() {
+                    sink.push(f);
+                }
+            }
+            self.load[li] = self.load[li].max(0.0);
+        }
+        self.loaded = loaded;
+    }
+
+    /// Freeze `flow` at the current fill level (a cross-pod flow frozen by
+    /// a sibling domain this round). No-op if already frozen this epoch.
+    pub(crate) fn fill_force(&mut self, flow: u32) {
+        let fi = flow as usize;
+        if self.frozen[fi] == self.epoch {
+            return;
+        }
+        self.frozen[fi] = self.epoch;
+        let w = self.weight[fi];
+        self.rate[fi] = self.fill_level * w;
+        for &l in self.path[fi].iter() {
+            self.load[l as usize] -= w;
+        }
+    }
+
+    /// Run the gathered component's water-fill to completion — the serial
+    /// single-domain drive of `fill_begin`/`fill_min`/`fill_drain`, the
+    /// same algorithm as [`max_min_rates`](crate::max_min_rates).
+    pub(crate) fn fill_run<F: Fn(u32) -> f64>(&mut self, cap_of: F) {
+        self.fill_begin(&cap_of);
+        while let Some((bottleneck, fill)) = self.fill_min() {
+            self.fill_drain(fill.max(0.0), Some(bottleneck), None);
+        }
+    }
+
+    /// Close a component solve: re-derive `link_used` for the component's
+    /// links and report its flows as changed.
+    pub(crate) fn fill_finish(&mut self) {
+        for &l in &self.comp_links {
+            self.link_used[l as usize] = 0.0;
+        }
+        for i in 0..self.comp_flows.len() {
+            let f = self.comp_flows[i];
+            let r = self.rate[f as usize];
+            if r.is_finite() {
+                for &l in self.path[f as usize].iter() {
+                    self.link_used[l as usize] += r;
+                }
+            }
+        }
+        self.changed.clear();
+        self.changed.extend_from_slice(&self.comp_flows);
+    }
+
+    /// Links of `flow`'s stored path (local link ids inside a domain).
+    pub(crate) fn path_of(&self, flow: u32) -> &[u32] {
+        &self.path[flow as usize]
     }
 }
 

@@ -344,3 +344,123 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Sharded per-pod solver ≡ oracle ≡ global incremental under churn
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// After every settled step of a churn sequence on the multi-pod
+    /// fabric — injections spanning pods (boundary reconciliation) and
+    /// fail/restore churn — the sharded solver's per-flow rates equal a
+    /// from-scratch `max_min_rates` run over the current active set.
+    #[test]
+    fn sharded_rates_match_oracle_under_churn(script in churn_script()) {
+        use astral_net::{max_min_rates, FlowState, NetConfig, NetworkSim};
+
+        let topo = build_astral(&AstralParams::sim_small());
+        let mut sim = NetworkSim::new(
+            &topo,
+            NetConfig {
+                sharded_solver: true,
+                shard_threads: 2,
+                ..NetConfig::default()
+            },
+        );
+        prop_assert!(
+            sim.solver_is_sharded(),
+            "sim_small must partition into pod domains"
+        );
+        let nl = topo.links().len();
+        apply_churn(&mut sim, &topo, &script, false, |sim, ids| {
+            let caps: Vec<f64> = (0..nl)
+                .map(|l| sim.effective_capacity(astral_topo::LinkId(l as u32)))
+                .collect();
+            let live: Vec<_> = ids
+                .iter()
+                .filter(|&&id| sim.stats(id).state == FlowState::Active)
+                .copied()
+                .collect();
+            let paths: Vec<Vec<u32>> = live
+                .iter()
+                .map(|&id| sim.stats(id).path.iter().map(|l| l.0).collect())
+                .collect();
+            let want = max_min_rates(&caps, &paths, None);
+            for (i, &id) in live.iter().enumerate() {
+                let got = sim.current_rate(id);
+                let expect = if want[i].is_finite() { want[i] } else { 0.0 };
+                assert!(
+                    (got - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                    "flow {id:?}: sharded solver {got} vs oracle {expect}"
+                );
+            }
+        });
+    }
+
+    /// The sharded solver and the global incremental solver produce the
+    /// same trajectory: identical per-flow rates at every settled step and
+    /// identical final deliveries/FCTs, across churn including
+    /// degrade/restore (which exercises the coupled full-solve under the
+    /// PFC fixpoint).
+    #[test]
+    fn sharded_equals_incremental_trajectory(script in churn_script()) {
+        use astral_net::{FlowState, NetConfig, NetworkSim};
+
+        let snapshot = |sim: &NetworkSim<'_>, ids: &[astral_net::FlowId]| -> Vec<f64> {
+            ids.iter().map(|&id| sim.current_rate(id)).collect()
+        };
+
+        let topo = build_astral(&AstralParams::sim_small());
+        let mut global_steps: Vec<Vec<f64>> = Vec::new();
+        let mut global = NetworkSim::new(&topo, NetConfig::default());
+        let ids_g = apply_churn(&mut global, &topo, &script, true, |sim, ids| {
+            global_steps.push(snapshot(sim, ids));
+        });
+
+        let mut sharded_steps: Vec<Vec<f64>> = Vec::new();
+        let mut sharded = NetworkSim::new(
+            &topo,
+            NetConfig {
+                sharded_solver: true,
+                shard_threads: 2,
+                ..NetConfig::default()
+            },
+        );
+        let ids_s = apply_churn(&mut sharded, &topo, &script, true, |sim, ids| {
+            sharded_steps.push(snapshot(sim, ids));
+        });
+
+        prop_assert_eq!(ids_g.len(), ids_s.len());
+        prop_assert_eq!(global_steps.len(), sharded_steps.len());
+        for (k, (gs, ss)) in global_steps.iter().zip(&sharded_steps).enumerate() {
+            prop_assert_eq!(gs.len(), ss.len());
+            for (i, (g, s)) in gs.iter().zip(ss).enumerate() {
+                prop_assert!(
+                    (g - s).abs() <= 1e-12 * g.abs().max(1.0),
+                    "step {}: flow #{} rate {} (global) vs {} (sharded)", k, i, g, s
+                );
+            }
+        }
+        for (&a, &b) in ids_g.iter().zip(&ids_s) {
+            let (sa, sb) = (global.stats(a), sharded.stats(b));
+            prop_assert_eq!(sa.state, sb.state, "flow {:?} state diverged", a);
+            prop_assert!(
+                (sa.delivered - sb.delivered).abs() <= 1e-6 * sb.delivered.max(1.0),
+                "flow {:?} delivered {} vs {}", a, sa.delivered, sb.delivered
+            );
+            if sa.state == FlowState::Done {
+                let (fa, fb) = (sa.fct().unwrap(), sb.fct().unwrap());
+                let (fa, fb) = (fa.as_secs_f64(), fb.as_secs_f64());
+                prop_assert!(
+                    (fa - fb).abs() <= 1e-6 * fb.max(1e-6),
+                    "flow {:?} fct {} vs {}", a, fa, fb
+                );
+            }
+        }
+        // The sharded run must actually have exercised its solver.
+        if !ids_s.is_empty() {
+            let c = sharded.solver_counters();
+            prop_assert!(c.incremental_solves > 0 || c.full_solves > 0);
+        }
+    }
+}

@@ -476,3 +476,69 @@ fn dual_tor_failover_halves_bandwidth_but_completes() {
         );
     }
 }
+
+/// The sharded per-pod solver is a drop-in for the global one: the same
+/// congested cross-pod workload produces identical flow outcomes and ECN
+/// telemetry, so the counter-driven controller loop (Figure 17) makes
+/// identical rebalancing decisions against either simulator.
+#[test]
+fn sharded_sim_drives_controller_identically() {
+    let topo = fixture();
+    let p = AstralParams::sim_small();
+    let gpb = p.hosts_per_block as u32 * p.rails as u32;
+    let pod_gpus = p.blocks_per_pod as u32 * gpb;
+    let ctl = EcmpController::default();
+
+    // Colliding same-sport pairs, half cross-block and half cross-pod, so
+    // both pod-internal domains and the boundary reconciliation run.
+    let flows: Vec<PlannedFlow> = (0..8)
+        .map(|i| PlannedFlow {
+            src: topo.gpu_nic(GpuId(i * p.rails as u32)),
+            dst: topo.gpu_nic(GpuId(
+                if i % 2 == 0 { gpb } else { pod_gpus } + i * p.rails as u32,
+            )),
+            bytes: 125_000_000,
+            sport: 50_000,
+        })
+        .collect();
+
+    let run = |sharded: bool| {
+        let cfg = NetConfig {
+            sharded_solver: sharded,
+            shard_threads: 2,
+            ..NetConfig::default()
+        };
+        let mut sim = NetworkSim::new(&topo, cfg);
+        assert_eq!(sim.solver_is_sharded(), sharded);
+        for f in &flows {
+            let qp = sim.register_qp(f.src, f.dst, f.sport, QpContext::anonymous());
+            sim.inject(FlowSpec {
+                qp,
+                bytes: f.bytes,
+                weight: 1.0,
+            })
+            .unwrap();
+        }
+        sim.run_until_idle();
+        let stats: Vec<(FlowState, Option<SimTime>)> = sim
+            .all_stats()
+            .into_iter()
+            .map(|s| (s.state, s.finish))
+            .collect();
+        let ecn: Vec<u64> = sim.telemetry().link.iter().map(|c| c.ecn_marks).collect();
+        let mut plan = flows.clone();
+        let moved = ctl.rebalance_from_sim(&sim, &mut plan, 4);
+        let sports: Vec<u16> = plan.iter().map(|f| f.sport).collect();
+        (stats, ecn, moved, sports)
+    };
+
+    let global = run(false);
+    let sharded = run(true);
+    assert_eq!(global.0, sharded.0, "flow outcomes diverged");
+    assert_eq!(global.1, sharded.1, "ECN telemetry diverged");
+    assert_eq!(
+        global.2, sharded.2,
+        "controller moved different flow counts"
+    );
+    assert_eq!(global.3, sharded.3, "controller chose different sports");
+}
