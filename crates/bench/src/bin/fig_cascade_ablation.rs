@@ -49,6 +49,7 @@ fn pump_script() -> CascadeScript {
             row: 0,
             flow_frac: 0.4,
         }],
+        net_faults: Vec::new(),
     }
 }
 
@@ -74,6 +75,7 @@ fn class_script(class: CascadeClass, rng: &mut SimRng) -> CascadeScript {
     };
     CascadeScript {
         faults: vec![fault],
+        net_faults: Vec::new(),
     }
 }
 

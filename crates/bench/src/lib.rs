@@ -16,7 +16,8 @@
 //!          fig15_power_iterations fig16_power_tidal \
 //!          fig17_ecmp_reassignment fig18_crossdc_pp_oversub \
 //!          fig19_scaling_efficiency fig_cascade_ablation \
-//!          fig_fleet_campaign ablation_hash_salt ablation_rail_design \
+//!          fig_gray_failure fig_fleet_campaign \
+//!          ablation_hash_salt ablation_rail_design \
 //!          appa_ecmp_rationale appc_monitor_overhead \
 //!          table1_llama3_operators perf_solver_alltoall \
 //!          perf_parallel_campaigns perf_frontier; do
@@ -82,7 +83,7 @@ impl Report {
     /// reports whose id is not on this list (a typo'd or stale id would
     /// otherwise silently pass schema validation). Keep in sync with the
     /// `Scenario::new` call of each bin.
-    pub const KNOWN_IDS: [&'static str; 27] = [
+    pub const KNOWN_IDS: [&'static str; 28] = [
         "ablation_hash_salt",
         "ablation_rail_design",
         "appa",
@@ -105,6 +106,7 @@ impl Report {
         "fig17",
         "fig18",
         "fig19",
+        "fig_gray_failure",
         "fleet_campaign",
         "perf_frontier",
         "perf_parallel_campaigns",

@@ -35,8 +35,8 @@
 //! against the PR-1 reactive ladder inside seeded [`FaultCampaign`]s.
 
 use crate::recovery::{
-    run_engine_with_substrate, FaultClass, JobPlacement, RecoveryPolicy, RecoveryReport,
-    TrainingJobSpec,
+    run_engine_with_substrate, FaultClass, FaultScript, InjectedFault, JobPlacement,
+    RecoveryPolicy, RecoveryReport, TrainingJobSpec,
 };
 use astral_collectives::RunnerConfig;
 use astral_cooling::{Airflow, RackRow};
@@ -168,6 +168,10 @@ impl std::fmt::Display for CascadeClass {
 pub struct CascadeScript {
     /// Substrate faults, any order; each lands at its iteration.
     pub faults: Vec<SubstrateFault>,
+    /// Network-layer faults (fail-stop *and* gray) riding the same
+    /// campaign clock, handed to the recovery engine's injector — this is
+    /// how a campaign mixes a flapping optic into a power-sag window.
+    pub net_faults: Vec<InjectedFault>,
 }
 
 /// Per-iteration probabilities of each spontaneous substrate fault.
@@ -253,7 +257,10 @@ impl FaultCampaign {
             }
         }
         faults.sort_by_key(|f| f.at_iter());
-        CascadeScript { faults }
+        CascadeScript {
+            faults,
+            net_faults: self.scripted.net_faults.clone(),
+        }
     }
 }
 
@@ -370,10 +377,14 @@ pub fn try_run_cascade_placed(
 ) -> Result<CascadeReport, crate::recovery::PolicyError> {
     policy.validate()?;
     let substrate = SubstrateState::new(topo, spec.seed, script.clone());
+    let net_script = FaultScript {
+        faults: script.net_faults.clone(),
+    };
     let (recovery, substrate) = run_engine_with_substrate(
         topo,
         policy,
         spec,
+        net_script,
         runner_cfg,
         substrate,
         placement.clone(),
@@ -905,9 +916,14 @@ impl SubstrateState {
     /// the recovery engine just handled.
     pub(crate) fn note_incident(&mut self, it: u32, class: FaultClass) {
         let diagnosed = match class {
-            FaultClass::TransientLink | FaultClass::OpticalDualTor => CauseClass::NicOrLink,
+            FaultClass::TransientLink
+            | FaultClass::OpticalDualTor
+            | FaultClass::FlappingLink
+            | FaultClass::DegradingOptic => CauseClass::NicOrLink,
             FaultClass::HardHost => CauseClass::GpuHardware,
-            FaultClass::FailSlow => return,
+            // Fail-slow symptoms and gray host quarantines are degraded
+            // states, not optics attributions.
+            FaultClass::FailSlow | FaultClass::GrayStraggler => return,
         };
         if let Some(a) = self
             .attributions
@@ -952,6 +968,7 @@ mod tests {
                 row: 0,
                 flow_frac: 0.4,
             }],
+            net_faults: Vec::new(),
         };
         let mut s = state(script);
         let hosts = job_hosts(16);
@@ -979,6 +996,7 @@ mod tests {
                 row: 0,
                 flow_frac: 0.4,
             }],
+            net_faults: Vec::new(),
         };
         let mut s = state(script);
         let hosts = job_hosts(16);
@@ -1011,6 +1029,7 @@ mod tests {
                 duration_iters: 10,
                 battery_wh_per_rack: 60.0,
             }],
+            net_faults: Vec::new(),
         };
         let mut s = state(script);
         let hosts = job_hosts(16);
@@ -1049,6 +1068,7 @@ mod tests {
                 at_iter: 3,
                 links: 3,
             }],
+            net_faults: Vec::new(),
         };
         let mut s = state(script);
         let hosts = job_hosts(16);
@@ -1091,6 +1111,7 @@ mod tests {
                 row: 0,
                 flow_frac: 0.4,
             }],
+            net_faults: Vec::new(),
         };
         let mut s = state(script);
         let hosts = job_hosts(16);

@@ -30,13 +30,14 @@
 use crate::cascade::SubstrateState;
 use astral_collectives::{CollectiveRunner, RunnerConfig};
 use astral_monitor::{
-    Analyzer, CauseClass, HostHealth, JobDesc, OnlineAlarm, OnlineDetector, OnlineDetectorConfig,
-    RankProgress, RootCause, Snapshot,
+    Analyzer, CauseClass, GrayDetector, GrayDetectorConfig, GrayEdge, GrayEvent, GrayPattern,
+    GraySample, GrayVerdict, HostHealth, JobDesc, OnlineAlarm, OnlineDetector,
+    OnlineDetectorConfig, RankProgress, RootCause, Snapshot,
 };
 use astral_net::{FlowEvent, QpId, QpRecord, SolverCounters, EPHEMERAL_BASE};
 use astral_sim::{SimDuration, SimRng};
 use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Router, Topology};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Tunable recovery behaviour — the policy axis the Figure-10 goodput
@@ -73,6 +74,18 @@ pub struct RecoveryPolicy {
     pub proactive_checkpoint: bool,
     /// Forecast lead window, iterations, for the proactive checkpoint.
     pub seer_lead_iters: u32,
+    /// Run the [`GrayDetector`] alongside the fail-stop ladder: flapping
+    /// links enter steer-around probation with probe-before-readmit,
+    /// degrading optics fail over proactively, and gray stragglers are
+    /// soft-quarantined (spare swap at the iteration boundary, no
+    /// rollback).
+    pub gray_detection: bool,
+    /// Initial probation window, iterations, for a suspect flapping link;
+    /// doubles each time the probe finds fresh flap edges.
+    pub gray_probation_iters: u32,
+    /// Suspicion score at which the gray detector raises a verdict
+    /// (the [`GrayDetectorConfig::suspect_on`] threshold).
+    pub gray_suspicion_threshold: f64,
 }
 
 impl Default for RecoveryPolicy {
@@ -90,6 +103,9 @@ impl Default for RecoveryPolicy {
             graceful_degradation: true,
             proactive_checkpoint: true,
             seer_lead_iters: 3,
+            gray_detection: false,
+            gray_probation_iters: 4,
+            gray_suspicion_threshold: 0.5,
         }
     }
 }
@@ -126,6 +142,15 @@ pub enum PolicyError {
     /// Proactive checkpoints are enabled but the Seer lead window is 0
     /// iterations: the forecast could never fire before the cordon.
     ZeroSeerLead,
+    /// Gray detection is enabled but the probation window is 0 iterations:
+    /// a probed link would be readmitted the moment it was cordoned.
+    ZeroGrayProbation,
+    /// `gray_suspicion_threshold` must lie in (0, 1]: at 0 every link is
+    /// suspect from the first sample, above 1 no link can ever be.
+    GrayThresholdOutOfRange {
+        /// The offending threshold.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for PolicyError {
@@ -161,6 +186,18 @@ impl std::fmt::Display for PolicyError {
                     "seer_lead_iters must be at least 1 when proactive_checkpoint is on"
                 )
             }
+            PolicyError::ZeroGrayProbation => {
+                write!(
+                    f,
+                    "gray_probation_iters must be at least 1 when gray_detection is on"
+                )
+            }
+            PolicyError::GrayThresholdOutOfRange { value } => {
+                write!(
+                    f,
+                    "gray_suspicion_threshold must lie in (0, 1], got {value}"
+                )
+            }
         }
     }
 }
@@ -183,6 +220,16 @@ impl RecoveryPolicy {
             graceful_degradation: false,
             proactive_checkpoint: false,
             ..RecoveryPolicy::default()
+        }
+    }
+
+    /// The reactive ladder plus gray-failure handling: suspicion-scored
+    /// probation for flappers, proactive failover for degrading optics,
+    /// and soft quarantine for gray stragglers.
+    pub fn gray_aware() -> Self {
+        RecoveryPolicy {
+            gray_detection: true,
+            ..RecoveryPolicy::reactive_only()
         }
     }
 
@@ -219,6 +266,15 @@ impl RecoveryPolicy {
         }
         if self.proactive_checkpoint && self.seer_lead_iters == 0 {
             return Err(PolicyError::ZeroSeerLead);
+        }
+        if self.gray_detection {
+            if self.gray_probation_iters == 0 {
+                return Err(PolicyError::ZeroGrayProbation);
+            }
+            let th = self.gray_suspicion_threshold;
+            if !th.is_finite() || th <= 0.0 || th > 1.0 {
+                return Err(PolicyError::GrayThresholdOutOfRange { value: th });
+            }
         }
         Ok(())
     }
@@ -337,6 +393,49 @@ pub enum InjectedFault {
         /// Index into the job's host list.
         host_index: usize,
     },
+    /// A gray fault: one mid-fabric link flaps as a deterministic square
+    /// wave — hard-fail for the down phase of each period, restore for
+    /// the up phase — until `flap_count` down phases have run. Each
+    /// transition lands at an iteration top, so replays are byte-exact.
+    FlappingLink {
+        /// Iteration of the first down edge.
+        at_iter: u32,
+        /// Full flap period, iterations (≥ 2: at least one up iteration
+        /// per cycle, or the link is simply dead).
+        period: u32,
+        /// Fraction of each period spent down (clamped to keep at least
+        /// one down and one up iteration per period).
+        duty_cycle: f64,
+        /// Down phases before the link stays up for good.
+        flap_count: u32,
+    },
+    /// A gray fault: the optic on one host's in-use dual-ToR uplink
+    /// develops BER creep — both directions lose a constant factor of
+    /// capacity per iteration until they hit `floor`, without ever going
+    /// down. No flow aborts; the job just gets slower.
+    DegradingOptic {
+        /// Iteration of the first decay step.
+        at_iter: u32,
+        /// Index into the job's host list.
+        host_index: usize,
+        /// Multiplicative capacity retention per iteration (in (0, 1)).
+        decay_per_iter: f64,
+        /// Surviving-capacity fraction the decay bottoms out at (> 0).
+        floor: f64,
+    },
+    /// A gray fault: one host's ingress drains at a fraction of line rate
+    /// on every rail — the NIC-level manifestation of a sick host — either
+    /// persistently or toggling on/off each iteration.
+    SlowHost {
+        /// Iteration at whose start the slowdown lands.
+        at_iter: u32,
+        /// Index into the job's host list.
+        host_index: usize,
+        /// Surviving ingress-capacity fraction while slow (in (0, 1)).
+        factor: f64,
+        /// Alternate slow/healthy each iteration instead of staying slow.
+        intermittent: bool,
+    },
 }
 
 impl InjectedFault {
@@ -344,7 +443,10 @@ impl InjectedFault {
         match *self {
             InjectedFault::TransientLink { at_iter, .. }
             | InjectedFault::OpticalUplink { at_iter, .. }
-            | InjectedFault::HostFailure { at_iter, .. } => at_iter,
+            | InjectedFault::HostFailure { at_iter, .. }
+            | InjectedFault::FlappingLink { at_iter, .. }
+            | InjectedFault::DegradingOptic { at_iter, .. }
+            | InjectedFault::SlowHost { at_iter, .. } => at_iter,
         }
     }
 }
@@ -367,16 +469,26 @@ pub enum FaultClass {
     HardHost,
     /// A persistent slowdown without aborts.
     FailSlow,
+    /// A link with recurrent up/down transitions — gray, not a one-off
+    /// transient (the suspicion detector's flapping verdict).
+    FlappingLink,
+    /// An optic whose capacity decays monotonically while staying up —
+    /// the BER-creep signature the proactive failover preempts.
+    DegradingOptic,
+    /// A host whose ingress drains persistently or intermittently slowly —
+    /// the soft-quarantine target.
+    GrayStraggler,
 }
 
 impl FaultClass {
     /// The Figure-7 root cause this class maps onto.
     pub fn root_cause(&self) -> RootCause {
         match self {
-            FaultClass::TransientLink => RootCause::LinkFlap,
-            FaultClass::OpticalDualTor => RootCause::OpticalFiber,
+            FaultClass::TransientLink | FaultClass::FlappingLink => RootCause::LinkFlap,
+            FaultClass::OpticalDualTor | FaultClass::DegradingOptic => RootCause::OpticalFiber,
             FaultClass::HardHost => RootCause::GpuHardware,
             FaultClass::FailSlow => RootCause::SwitchConfig,
+            FaultClass::GrayStraggler => RootCause::HostEnvConfig,
         }
     }
 }
@@ -404,6 +516,18 @@ pub enum MitigationAction {
     /// A checkpoint taken because the Seer hazard forecast predicted a
     /// forced cordon (or battery exhaustion) within the lead window.
     ProactiveCheckpoint,
+    /// A flapping link was steered around and placed under probation:
+    /// traffic stays off it until a quiet probe window readmits it.
+    LinkProbation,
+    /// A probation probe found no fresh flap edges: the link rejoined the
+    /// steerable fabric.
+    ProbeReadmit,
+    /// A degrading optic was failed over to the sibling ToR *before* it
+    /// tripped the fail-stop ladder.
+    ProactiveTorFailover,
+    /// A gray straggler was soft-cordoned: checkpoint at the iteration
+    /// boundary, spare swapped in, no rollback.
+    Quarantine,
     /// Recovery gave up (or was disabled).
     Abort,
 }
@@ -452,6 +576,10 @@ pub struct RecoveryReport {
     /// Spares consumed by cordon-and-replace restarts, in claim order —
     /// the debit a fleet-wide spare-pool arbiter charges this job.
     pub spares_claimed: Vec<HostId>,
+    /// Hosts soft-quarantined by the gray detector, in verdict order —
+    /// suspect (not dead) capacity a fleet controller should steer new
+    /// placements away from until the host is cleared.
+    pub quarantined: Vec<HostId>,
     /// Wall-clock that produced retained training progress.
     pub useful_s: f64,
     /// Wall-clock of iterations discarded by checkpoint rollbacks.
@@ -514,11 +642,12 @@ impl RecoveryReport {
     /// same rates. Byte-identical fingerprints ⇒ identical runs.
     pub fn fingerprint(&self) -> String {
         let mut s = format!(
-            "done:{}·{}·{:?}·{:?}|u:{:016x}|r:{:016x}|g:{:016x}|c:{:016x}|d:{:016x}",
+            "done:{}·{}·{:?}·{:?}·q{:?}|u:{:016x}|r:{:016x}|g:{:016x}|c:{:016x}|d:{:016x}",
             self.completed,
             self.iters_done,
             self.abort,
             self.spares_claimed,
+            self.quarantined,
             self.useful_s.to_bits(),
             self.lost_rollback_s.to_bits(),
             self.degraded_s.to_bits(),
@@ -676,12 +805,15 @@ pub fn try_run_training_battery_with(
 }
 
 /// Run the engine with a cascade substrate attached (the
-/// [`crate::cascade`] entry point). The caller has already validated the
-/// policy.
+/// [`crate::cascade`] entry point). `script` carries any network-level
+/// faults the cascade scenario schedules alongside its substrate faults.
+/// The caller has already validated the policy.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_engine_with_substrate(
     topo: &Topology,
     policy: &RecoveryPolicy,
     spec: &TrainingJobSpec,
+    script: FaultScript,
     runner_cfg: RunnerConfig,
     substrate: SubstrateState,
     placement: JobPlacement,
@@ -691,7 +823,7 @@ pub(crate) fn run_engine_with_substrate(
         topo,
         *policy,
         *spec,
-        FaultScript::default(),
+        script,
         runner_cfg,
         Some(substrate),
         placement,
@@ -699,6 +831,54 @@ pub(crate) fn run_engine_with_substrate(
     );
     let (report, sub) = engine.run_parts();
     (report, sub.expect("substrate passes through the run"))
+}
+
+/// Live state of one activated gray fault. Each driver resolves its
+/// concrete topology targets (link, host) once at activation — a
+/// quarantine swap must not re-aim the fault at the replacement host.
+#[derive(Debug, Clone)]
+enum GrayDrive {
+    /// Square-wave flapper: `next_edge_iter` is monotone, so re-running
+    /// an iteration after a rollback is a no-op, never a double edge.
+    Flap {
+        link: LinkId,
+        down: bool,
+        downs_done: u32,
+        down_len: u32,
+        up_len: u32,
+        flap_count: u32,
+        next_edge_iter: u32,
+    },
+    /// BER creep on one uplink pair; `frac` only moves forward in
+    /// iteration time (`next_it` is monotone, so rollback re-execution of
+    /// an earlier iteration is a no-op).
+    Optic {
+        links: [LinkId; 2],
+        frac: f64,
+        decay: f64,
+        floor: f64,
+        next_it: u32,
+    },
+    /// Slow (optionally intermittent) host ingress.
+    Slow {
+        host: HostId,
+        factor: f64,
+        intermittent: bool,
+        start_iter: u32,
+        degraded: bool,
+        next_it: u32,
+    },
+}
+
+/// One link's probation record: steered around, probed before readmission.
+#[derive(Debug, Clone)]
+struct Probation {
+    /// Iteration the readmission probe runs.
+    until_iter: u32,
+    /// Escalation level: each failed probe doubles the next window.
+    level: u32,
+    /// Flap-edge counter at (re)entry — fresh edges fail the probe.
+    edges_at_entry: u32,
 }
 
 struct Engine<'t> {
@@ -715,6 +895,22 @@ struct Engine<'t> {
     injected: Vec<bool>,
     /// Transient links awaiting their heal, restored during backoff.
     pending_restores: Vec<LinkId>,
+    /// Live gray-fault drivers, parallel to `script.faults` (None for
+    /// fail-stop entries and not-yet-activated gray entries). The driver
+    /// acts only at iteration tops, so faults replay byte-for-byte.
+    gray_drives: Vec<Option<GrayDrive>>,
+    /// The suspicion scorer, present only under `policy.gray_detection`
+    /// (the faults themselves are injected for every policy).
+    gray_detector: Option<GrayDetector>,
+    /// Links every steering decision must route around (probation +
+    /// proactive failover verdicts).
+    avoided_links: BTreeSet<LinkId>,
+    /// Probation ledger for suspect flapping links.
+    probations: BTreeMap<LinkId, Probation>,
+    /// Suspicion verdicts awaiting a healthy iteration to act on.
+    pending_verdicts: Vec<GrayVerdict>,
+    /// Hosts soft-quarantined by the gray ladder, in verdict order.
+    quarantined: Vec<HostId>,
     /// Substrate cascade driver (power/cooling/optics), when attached.
     substrate: Option<SubstrateState>,
     /// A Seer hazard warning is currently live (one proactive checkpoint
@@ -768,6 +964,13 @@ impl<'t> Engine<'t> {
         let spares = placement.spares;
         let group: Vec<GpuId> = hosts.iter().map(|h| GpuId(h.0 * rails)).collect();
         let injected = vec![false; script.faults.len()];
+        let gray_drives = vec![None; script.faults.len()];
+        let gray_detector = policy.gray_detection.then(|| {
+            GrayDetector::new(GrayDetectorConfig {
+                suspect_on: policy.gray_suspicion_threshold,
+                ..GrayDetectorConfig::default()
+            })
+        });
         let runner = match router {
             Some(r) => CollectiveRunner::with_router(topo, runner_cfg, r),
             None => CollectiveRunner::new(topo, runner_cfg),
@@ -785,6 +988,12 @@ impl<'t> Engine<'t> {
             spares,
             injected,
             pending_restores: Vec::new(),
+            gray_drives,
+            gray_detector,
+            avoided_links: BTreeSet::new(),
+            probations: BTreeMap::new(),
+            pending_verdicts: Vec::new(),
+            quarantined: Vec::new(),
             substrate,
             hazard_latched: false,
             last_checkpoint: 0,
@@ -815,6 +1024,7 @@ impl<'t> Engine<'t> {
                     self.last_checkpoint = it;
                 }
                 self.inject_due(it);
+                self.gray_drive_tick(it);
                 if let Some(forced) = self.substrate_begin_iter(it) {
                     // The DCIM tripped: a rack crossed the critical
                     // temperature. Cordon it, repair, restart.
@@ -866,11 +1076,17 @@ impl<'t> Engine<'t> {
             let useful_part = iter_s - degraded_part;
 
             let alarm = self.detector.observe_iteration(iter_s, aborted.len());
+            self.gray_observe(it);
             let Some(alarm) = alarm else {
                 // Healthy from the network's perspective — but the
                 // physical-layer DCIM may still be alarming on substrate
                 // telemetry (a straggler cascade never aborts a flow).
                 for inc in self.substrate_attend(it) {
+                    self.incidents.push(inc);
+                }
+                // Gray verdicts also land here: a gray fault, by
+                // definition, degrades iterations that still complete.
+                for inc in self.gray_attend(it) {
                     self.incidents.push(inc);
                 }
                 self.iter_useful[it as usize] = useful_part;
@@ -886,9 +1102,17 @@ impl<'t> Engine<'t> {
             // one with failed flows produced nothing.
             let produced = res.failed_flows == 0;
             if produced {
-                self.iter_useful[it as usize] = useful_part;
-                self.useful_s += useful_part;
-                self.degraded_s += degraded_part;
+                // A slow-but-complete iteration (the Slowdown alarm path):
+                // the excess over the detector's healthy baseline is the
+                // comm-side straggler tax — degraded, not useful, time,
+                // symmetric with the compute-throttle accounting above.
+                let slow_tax = self
+                    .detector
+                    .baseline_s()
+                    .map_or(0.0, |b| ((iter_s - b).max(0.0) - degraded_part).max(0.0));
+                self.iter_useful[it as usize] = useful_part - slow_tax;
+                self.useful_s += useful_part - slow_tax;
+                self.degraded_s += degraded_part + slow_tax;
             } else {
                 self.downtime_s += iter_s;
             }
@@ -933,19 +1157,31 @@ impl<'t> Engine<'t> {
                 }
                 MitigationAction::EcmpReroute | MitigationAction::TorFailover => {
                     if produced {
+                        // A slow-but-complete iteration still advances, so
+                        // gray verdicts must drain here too: a persistent
+                        // partial fault alarms the reactive detector every
+                        // iteration, and waiting for a clean one would
+                        // postpone quarantine forever.
+                        for inc in self.gray_attend(it) {
+                            self.incidents.push(inc);
+                        }
                         it += 1;
                         attempt = 0;
                     } else {
                         attempt += 1;
                     }
                 }
-                // Graceful-degradation actions are applied on healthy
-                // iterations via `substrate_attend`, never returned from
-                // `recover`.
+                // Graceful-degradation and gray actions are applied on
+                // healthy iterations via `substrate_attend` / `gray_attend`,
+                // never returned from `recover`.
                 MitigationAction::FlowReroute
                 | MitigationAction::PowerCapRideThrough
                 | MitigationAction::MicroBatchRebalance
-                | MitigationAction::ProactiveCheckpoint => unreachable!(),
+                | MitigationAction::ProactiveCheckpoint
+                | MitigationAction::LinkProbation
+                | MitigationAction::ProbeReadmit
+                | MitigationAction::ProactiveTorFailover
+                | MitigationAction::Quarantine => unreachable!(),
             }
         }
 
@@ -958,6 +1194,7 @@ impl<'t> Engine<'t> {
             },
             abort: if completed { None } else { self.abort_reason },
             spares_claimed: self.spares_claimed,
+            quarantined: self.quarantined,
             useful_s: self.useful_s,
             lost_rollback_s: self.lost_rollback_s,
             degraded_s: self.degraded_s,
@@ -1424,10 +1661,13 @@ impl<'t> Engine<'t> {
                 continue;
             }
             let path: Vec<LinkId> = probe.hops.iter().map(|h| h.link).collect();
-            if path.iter().any(|l| avoid.contains(l)) {
+            if path
+                .iter()
+                .any(|l| avoid.contains(l) || self.avoided_links.contains(l))
+            {
                 continue;
             }
-            if avoid.is_empty() && Some(&path) == cur.as_ref() {
+            if avoid.is_empty() && self.avoided_links.is_empty() && Some(&path) == cur.as_ref() {
                 // Asked to move off the current path but this candidate
                 // re-hashes onto it; keep it only as a fallback.
                 fallback.get_or_insert(sport);
@@ -1487,7 +1727,7 @@ impl<'t> Engine<'t> {
             }
             self.injected[i] = true;
             let fault = self.script.faults[i];
-            let blast = self.inject(fault);
+            let blast = self.inject(i, fault);
             self.injections.push(InjectionRecord {
                 fault,
                 blast_radius: blast,
@@ -1495,7 +1735,7 @@ impl<'t> Engine<'t> {
         }
     }
 
-    fn inject(&mut self, fault: InjectedFault) -> usize {
+    fn inject(&mut self, idx: usize, fault: InjectedFault) -> usize {
         let now = self.runner.sim().now();
         match fault {
             InjectedFault::TransientLink { .. } => {
@@ -1505,34 +1745,7 @@ impl<'t> Engine<'t> {
                 // collective would drain a future restore and desync the
                 // runner's virtual clock — the engine restores the link
                 // itself once recovery's backoff has elapsed.
-                let mut candidates: Vec<LinkId> = Vec::new();
-                let mut qps: Vec<(QpId, QpRecord)> = self
-                    .runner
-                    .sim()
-                    .telemetry()
-                    .qp_info
-                    .iter()
-                    .map(|(q, r)| (*q, r.clone()))
-                    .collect();
-                qps.sort_by_key(|(q, _)| *q);
-                for (_, rec) in &qps {
-                    if let Some(path) =
-                        self.runner
-                            .sim()
-                            .route(rec.src_nic, rec.dst_nic, &rec.tuple)
-                    {
-                        // Interior links only: strip the NIC→ToR first hop
-                        // and the ToR→NIC last hop.
-                        if path.len() >= 3 {
-                            candidates.extend(&path[1..path.len() - 1]);
-                        }
-                    }
-                }
-                candidates.sort();
-                candidates.dedup();
-                let Some(&l) =
-                    candidates.get(self.rng.below(candidates.len().max(1) as u64) as usize)
-                else {
+                let Some(l) = self.pick_interior_link() else {
                     return 0;
                 };
                 let blast = self.qps_crossing(&[l]);
@@ -1564,7 +1777,479 @@ impl<'t> Engine<'t> {
                 }
                 blast
             }
+            InjectedFault::FlappingLink {
+                at_iter,
+                period,
+                duty_cycle,
+                flap_count,
+            } => {
+                // Same victim choice as TransientLink: an interior link a
+                // live QP routes over. The square wave itself runs in
+                // `gray_drive_tick` (first down edge this same iteration).
+                let Some(l) = self.pick_interior_link() else {
+                    return 0;
+                };
+                let period = period.max(2);
+                let down_len = ((period as f64 * duty_cycle).round() as u32).clamp(1, period - 1);
+                self.gray_drives[idx] = Some(GrayDrive::Flap {
+                    link: l,
+                    down: false,
+                    downs_done: 0,
+                    down_len,
+                    up_len: period - down_len,
+                    flap_count,
+                    next_edge_iter: at_iter,
+                });
+                self.qps_crossing(&[l])
+            }
+            InjectedFault::DegradingOptic {
+                at_iter,
+                host_index,
+                decay_per_iter,
+                floor,
+            } => {
+                // Resolve the host's in-use dual-ToR uplink pair once; the
+                // creep acts on these concrete links forever after.
+                let host = self.hosts[host_index % self.hosts.len()];
+                let nic = self.topo.host(host).nics[0];
+                let up = self
+                    .egress_uplink_in_use(nic)
+                    .unwrap_or_else(|| self.topo.out_links(nic)[0]);
+                let down = self
+                    .topo
+                    .link_between(self.topo.link(up).dst, nic)
+                    .expect("duplex");
+                self.gray_drives[idx] = Some(GrayDrive::Optic {
+                    links: [up, down],
+                    frac: 1.0,
+                    decay: decay_per_iter.clamp(0.01, 0.999),
+                    floor: floor.clamp(0.01, 0.99),
+                    next_it: at_iter,
+                });
+                self.qps_crossing(&[up, down])
+            }
+            InjectedFault::SlowHost {
+                at_iter,
+                host_index,
+                factor,
+                intermittent,
+            } => {
+                let host = self.hosts[host_index % self.hosts.len()];
+                let mut edges: Vec<LinkId> = Vec::new();
+                for &nic in &self.topo.host(host).nics {
+                    for &up in self.topo.out_links(nic) {
+                        if let Some(down) = self.topo.link_between(self.topo.link(up).dst, nic) {
+                            edges.push(down);
+                        }
+                    }
+                }
+                self.gray_drives[idx] = Some(GrayDrive::Slow {
+                    host,
+                    factor: factor.clamp(0.01, 0.99),
+                    intermittent,
+                    start_iter: at_iter,
+                    degraded: false,
+                    next_it: at_iter,
+                });
+                self.qps_crossing(&edges)
+            }
         }
+    }
+
+    /// An interior (non-host-edge) link some live QP currently routes
+    /// over, chosen deterministically via the run's RNG.
+    fn pick_interior_link(&mut self) -> Option<LinkId> {
+        let mut candidates: Vec<LinkId> = Vec::new();
+        let mut qps: Vec<(QpId, QpRecord)> = self
+            .runner
+            .sim()
+            .telemetry()
+            .qp_info
+            .iter()
+            .map(|(q, r)| (*q, r.clone()))
+            .collect();
+        qps.sort_by_key(|(q, _)| *q);
+        for (_, rec) in &qps {
+            if let Some(path) = self
+                .runner
+                .sim()
+                .route(rec.src_nic, rec.dst_nic, &rec.tuple)
+            {
+                if path.len() >= 3 {
+                    candidates.extend(&path[1..path.len() - 1]);
+                }
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        candidates
+            .get(self.rng.below(candidates.len().max(1) as u64) as usize)
+            .copied()
+    }
+
+    /// Advance every live gray fault one iteration top. Always runs —
+    /// the faults exist regardless of whether the policy can see them —
+    /// and every transition lands at `now` while the simulator is idle,
+    /// so the runner's virtual clock never desyncs.
+    fn gray_drive_tick(&mut self, it: u32) {
+        let mut drives = std::mem::take(&mut self.gray_drives);
+        let now = self.runner.sim().now();
+        let mut touched = false;
+        for d in drives.iter_mut().flatten() {
+            match d {
+                GrayDrive::Flap {
+                    link,
+                    down,
+                    downs_done,
+                    down_len,
+                    up_len,
+                    flap_count,
+                    next_edge_iter,
+                } => {
+                    // `next_edge_iter` is monotone: re-running an earlier
+                    // iteration after a rollback is a no-op.
+                    if it < *next_edge_iter || (*downs_done >= *flap_count && !*down) {
+                        continue;
+                    }
+                    if *down {
+                        self.runner.sim_mut().restore_link_at(now, *link);
+                        *down = false;
+                        *next_edge_iter = it + *up_len;
+                    } else {
+                        self.runner.sim_mut().fail_link_at(now, *link);
+                        *down = true;
+                        *downs_done += 1;
+                        *next_edge_iter = it + *down_len;
+                    }
+                    touched = true;
+                }
+                GrayDrive::Optic {
+                    links,
+                    frac,
+                    decay,
+                    floor,
+                    next_it,
+                } => {
+                    if it < *next_it {
+                        continue;
+                    }
+                    *next_it = it + 1;
+                    if *frac <= *floor {
+                        continue;
+                    }
+                    *frac = (*frac * *decay).max(*floor);
+                    for &l in links.iter() {
+                        self.runner.sim_mut().degrade_link_at(now, l, *frac);
+                    }
+                    touched = true;
+                }
+                GrayDrive::Slow {
+                    host,
+                    factor,
+                    intermittent,
+                    start_iter,
+                    degraded,
+                    next_it,
+                } => {
+                    if it < *next_it {
+                        continue;
+                    }
+                    *next_it = it + 1;
+                    let want = !*intermittent || (it - *start_iter).is_multiple_of(2);
+                    if want && !*degraded {
+                        let _ = self.runner.sim_mut().degrade_host_at(now, *host, *factor);
+                        *degraded = true;
+                    } else if !want && *degraded {
+                        let _ = self.runner.sim_mut().restore_host_at(now, *host);
+                        *degraded = false;
+                    }
+                    touched = true;
+                }
+            }
+        }
+        self.gray_drives = drives;
+        // Drain before the collective launches: a restore re-admits
+        // previously failed flows, and their redeliveries must finish
+        // before the runner's per-step clock starts, or a later step would
+        // find the simulator ahead of it.
+        if touched {
+            self.runner.sim_mut().run_until_idle();
+        }
+    }
+
+    /// Feed the suspicion scorer one iteration of physical-layer evidence
+    /// (flap-edge counters + capacity-degraded links). No-op for policies
+    /// without gray detection.
+    fn gray_observe(&mut self, it: u32) {
+        if self.gray_detector.is_none() {
+            return;
+        }
+        let mut flap_edges: Vec<(LinkId, u32)> = self
+            .runner
+            .sim()
+            .telemetry()
+            .link_flaps
+            .iter()
+            .map(|(&l, &e)| (l, e))
+            .collect();
+        flap_edges.sort_unstable();
+        let degraded: Vec<GrayEdge> = self
+            .runner
+            .sim()
+            .degraded_links()
+            .into_iter()
+            .map(|(l, frac)| GrayEdge {
+                link: l,
+                frac,
+                host_edge: self.host_edge_nic(l).is_some(),
+            })
+            .collect();
+        let sample = GraySample {
+            iter: it,
+            flap_edges,
+            degraded,
+        };
+        let det = self.gray_detector.as_mut().expect("checked above");
+        for ev in det.observe(&sample) {
+            if let GrayEvent::Suspect(v) = ev {
+                self.pending_verdicts.push(v);
+            }
+        }
+    }
+
+    /// Act on pending suspicion verdicts and run due probation probes.
+    /// Called at the end of every iteration that completed (healthy or
+    /// alarmed-but-produced): a gray fault, by definition, degrades
+    /// iterations that still finish.
+    fn gray_attend(&mut self, it: u32) -> Vec<Incident> {
+        if self.gray_detector.is_none() {
+            return Vec::new();
+        }
+        let mut incidents = Vec::new();
+
+        // Probation probes due this iteration: a quiet link readmits;
+        // fresh flap edges double the next window (exponential backoff).
+        let due: Vec<LinkId> = self
+            .probations
+            .iter()
+            .filter(|(_, p)| p.until_iter <= it)
+            .map(|(&l, _)| l)
+            .collect();
+        for l in due {
+            let edges_now = self
+                .runner
+                .sim()
+                .telemetry()
+                .link_flaps
+                .get(&l)
+                .copied()
+                .unwrap_or(0);
+            let p = self.probations.get_mut(&l).expect("due came from the map");
+            if edges_now == p.edges_at_entry {
+                self.probations.remove(&l);
+                self.avoided_links.remove(&l);
+                if let Some(d) = self.gray_detector.as_mut() {
+                    d.unmute(l);
+                }
+                incidents.push(Incident {
+                    iter: it,
+                    class: FaultClass::FlappingLink,
+                    action: MitigationAction::ProbeReadmit,
+                    retries: 0,
+                    locate_s: 0.0,
+                    repair_s: 0.0,
+                    blamed: vec![l],
+                    cordoned: Vec::new(),
+                });
+            } else {
+                p.edges_at_entry = edges_now;
+                p.level += 1;
+                p.until_iter = it + self.policy.gray_probation_iters * (1u32 << p.level.min(8));
+            }
+        }
+
+        // Fresh verdicts, in arrival order.
+        for v in std::mem::take(&mut self.pending_verdicts) {
+            if self.avoided_links.contains(&v.link) {
+                continue; // its pair already handled this batch
+            }
+            match v.pattern {
+                GrayPattern::Degrading if v.host_edge => {
+                    incidents.push(self.proactive_failover(it, v.link));
+                }
+                GrayPattern::Steady | GrayPattern::Intermittent if v.host_edge => {
+                    if let Some(inc) = self.quarantine_host(it, v.link) {
+                        incidents.push(inc);
+                    }
+                }
+                // Flapping — or any recurrent misbehavior on a fabric
+                // link, where there is no host to quarantine and no
+                // sibling ToR to fail over to: steer around it and let the
+                // probation probe readmit it if it recovers.
+                _ => incidents.push(self.begin_probation(it, v.link)),
+            }
+        }
+        incidents
+    }
+
+    /// Steer every crossing QP off a suspect link and open its probation
+    /// window. Detection is passive (the suspicion score rides telemetry
+    /// the monitor already collects), so no localization time is charged.
+    fn begin_probation(&mut self, it: u32, link: LinkId) -> Incident {
+        self.avoided_links.insert(link);
+        if let Some(d) = self.gray_detector.as_mut() {
+            d.mute(link);
+        }
+        for qp in self.qps_on_links(&[link]) {
+            self.steer_qp(qp, &[link]);
+        }
+        let edges = self
+            .runner
+            .sim()
+            .telemetry()
+            .link_flaps
+            .get(&link)
+            .copied()
+            .unwrap_or(0);
+        self.probations.insert(
+            link,
+            Probation {
+                until_iter: it + self.policy.gray_probation_iters,
+                level: 0,
+                edges_at_entry: edges,
+            },
+        );
+        Incident {
+            iter: it,
+            class: FaultClass::FlappingLink,
+            action: MitigationAction::LinkProbation,
+            retries: 0,
+            locate_s: 0.0,
+            repair_s: 0.0,
+            blamed: vec![link],
+            cordoned: Vec::new(),
+        }
+    }
+
+    /// Fail a degrading optic's uplink pair over to the sibling ToR before
+    /// it trips the fail-stop ladder. The pair never readmits: BER creep
+    /// is monotone, so the module gets replaced off the critical path.
+    fn proactive_failover(&mut self, it: u32, link: LinkId) -> Incident {
+        let (src, dst) = {
+            let l = self.topo.link(link);
+            (l.src, l.dst)
+        };
+        let mut pair = vec![link];
+        if let Some(rev) = self.topo.link_between(dst, src) {
+            pair.push(rev);
+        }
+        pair.sort_unstable();
+        pair.dedup();
+        for &p in &pair {
+            self.avoided_links.insert(p);
+            if let Some(d) = self.gray_detector.as_mut() {
+                d.mute(p);
+            }
+        }
+        for qp in self.qps_on_links(&pair) {
+            self.steer_qp(qp, &pair);
+        }
+        self.downtime_s += self.policy.detection_overhead_s;
+        Incident {
+            iter: it,
+            class: FaultClass::DegradingOptic,
+            action: MitigationAction::ProactiveTorFailover,
+            retries: 0,
+            locate_s: self.policy.detection_overhead_s,
+            repair_s: 0.0,
+            blamed: pair,
+            cordoned: Vec::new(),
+        }
+    }
+
+    /// Soft-cordon the host behind a suspect edge link: checkpoint at this
+    /// iteration boundary, swap a spare in, keep every completed iteration
+    /// (no rollback — the difference from the hard-cordon restart path).
+    /// Without a free spare the job notes the suspect host and rides out
+    /// the slowdown.
+    fn quarantine_host(&mut self, it: u32, link: LinkId) -> Option<Incident> {
+        let host = self.host_edge_nic(link).and_then(|n| self.nic_host(n))?;
+        // Mute every edge link of this host: further evidence from a host
+        // already under quarantine is expected and uninformative.
+        let mut edges: Vec<LinkId> = Vec::new();
+        for &nic in &self.topo.host(host).nics {
+            for &up in self.topo.out_links(nic) {
+                edges.push(up);
+                if let Some(down) = self.topo.link_between(self.topo.link(up).dst, nic) {
+                    edges.push(down);
+                }
+            }
+        }
+        if let Some(d) = self.gray_detector.as_mut() {
+            for &e in &edges {
+                d.mute(e);
+            }
+        }
+        if self.quarantined.contains(&host) {
+            return None;
+        }
+        let slot = self.hosts.iter().position(|&h| h == host)?;
+        self.downtime_s += self.policy.detection_overhead_s;
+        let Some(spare) = self.spares.pop() else {
+            // No replacement capacity: flag the host for the fleet's
+            // avoid list and keep running degraded.
+            self.quarantined.push(host);
+            return Some(Incident {
+                iter: it,
+                class: FaultClass::GrayStraggler,
+                action: MitigationAction::Quarantine,
+                retries: 0,
+                locate_s: self.policy.detection_overhead_s,
+                repair_s: 0.0,
+                blamed: vec![link],
+                cordoned: vec![host],
+            });
+        };
+        // Soft cordon: the boundary checkpoint retains everything done so
+        // far, the spare takes over from here.
+        self.checkpoint_s += self.policy.checkpoint_cost_s;
+        self.last_checkpoint = it + 1;
+        self.downtime_s += self.policy.restart_overhead_s;
+        self.spares_claimed.push(spare);
+        let rails = self.topo.rails() as u32;
+        self.hosts[slot] = spare;
+        self.group[slot] = GpuId(spare.0 * rails);
+        self.quarantined.push(host);
+        Some(Incident {
+            iter: it,
+            class: FaultClass::GrayStraggler,
+            action: MitigationAction::Quarantine,
+            retries: 0,
+            locate_s: self.policy.detection_overhead_s,
+            repair_s: self.policy.restart_overhead_s + self.policy.checkpoint_cost_s,
+            blamed: vec![link],
+            cordoned: vec![host],
+        })
+    }
+
+    /// QPs whose live route crosses any of `links`, ascending.
+    fn qps_on_links(&self, links: &[LinkId]) -> Vec<QpId> {
+        let mut qps: Vec<QpId> = self
+            .runner
+            .sim()
+            .telemetry()
+            .qp_info
+            .values()
+            .filter(|r| {
+                self.runner
+                    .sim()
+                    .route(r.src_nic, r.dst_nic, &r.tuple)
+                    .is_some_and(|p| p.iter().any(|l| links.contains(l)))
+            })
+            .map(|r| r.qp)
+            .collect();
+        qps.sort_unstable();
+        qps
     }
 
     /// Move iterations after the last checkpoint from useful to lost.
@@ -1765,6 +2450,218 @@ mod tests {
         let r = run_training(&t, &RecoveryPolicy::disabled(), &quick_spec(), &script);
         assert!(!r.completed);
         assert_eq!(r.incidents.last().unwrap().action, MitigationAction::Abort);
+    }
+
+    #[test]
+    fn flapping_link_enters_probation_and_readmits() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::FlappingLink {
+                at_iter: 3,
+                period: 3,
+                duty_cycle: 0.34,
+                flap_count: 3,
+            }],
+        };
+        let spec = TrainingJobSpec {
+            iters: 24,
+            ..quick_spec()
+        };
+        let r = run_training(&t, &RecoveryPolicy::gray_aware(), &spec, &script);
+        assert!(r.completed, "incidents: {:?}", r.incidents);
+        let probation: Vec<&Incident> = r
+            .incidents
+            .iter()
+            .filter(|i| i.action == MitigationAction::LinkProbation)
+            .collect();
+        assert_eq!(probation.len(), 1, "incidents: {:?}", r.incidents);
+        assert_eq!(probation[0].class, FaultClass::FlappingLink);
+        // The probe readmits the link once a full probation window passes
+        // with no fresh flap edges; a mid-probation flap extends it first.
+        let readmit: Vec<&Incident> = r
+            .incidents
+            .iter()
+            .filter(|i| i.action == MitigationAction::ProbeReadmit)
+            .collect();
+        assert_eq!(readmit.len(), 1, "incidents: {:?}", r.incidents);
+        assert!(readmit[0].iter > probation[0].iter);
+        assert_eq!(readmit[0].blamed, probation[0].blamed);
+        // Probation is steering, not cordoning: no hosts touched, no
+        // rollback, no spare consumed.
+        assert!(r.quarantined.is_empty());
+        assert_eq!(r.lost_rollback_s, 0.0);
+        assert!(r.spares_claimed.is_empty());
+    }
+
+    #[test]
+    fn degrading_optic_fails_over_proactively() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::DegradingOptic {
+                at_iter: 3,
+                host_index: 2,
+                decay_per_iter: 0.8,
+                floor: 0.3,
+            }],
+        };
+        let spec = TrainingJobSpec {
+            iters: 14,
+            ..quick_spec()
+        };
+        let r = run_training(&t, &RecoveryPolicy::gray_aware(), &spec, &script);
+        assert!(r.completed, "incidents: {:?}", r.incidents);
+        let failover: Vec<&Incident> = r
+            .incidents
+            .iter()
+            .filter(|i| i.action == MitigationAction::ProactiveTorFailover)
+            .collect();
+        assert_eq!(failover.len(), 1, "incidents: {:?}", r.incidents);
+        assert_eq!(failover[0].class, FaultClass::DegradingOptic);
+        // Both directions of the uplink get retired together.
+        assert_eq!(failover[0].blamed.len(), 2);
+        // BER creep never aborts a flow: the failover happens before the
+        // fail-stop ladder ever fires, and nothing rolls back.
+        assert!(r
+            .incidents
+            .iter()
+            .all(|i| i.action != MitigationAction::EcmpReroute));
+        assert_eq!(r.lost_rollback_s, 0.0);
+        assert!(r.quarantined.is_empty());
+    }
+
+    #[test]
+    fn slow_host_is_quarantined_without_rollback() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![InjectedFault::SlowHost {
+                at_iter: 4,
+                host_index: 2,
+                factor: 0.1,
+                intermittent: false,
+            }],
+        };
+        // Communication-significant: the 10x-slower host edge must push
+        // the iteration past the online detector's 2x slowdown alarm.
+        let spec = TrainingJobSpec {
+            iters: 20,
+            bytes: 256 << 20,
+            comp_s: 0.01,
+            ..TrainingJobSpec::default()
+        };
+        let gray = run_training(&t, &RecoveryPolicy::gray_aware(), &spec, &script);
+        assert!(gray.completed, "incidents: {:?}", gray.incidents);
+        let quarantine: Vec<&Incident> = gray
+            .incidents
+            .iter()
+            .filter(|i| i.action == MitigationAction::Quarantine)
+            .collect();
+        assert_eq!(quarantine.len(), 1, "incidents: {:?}", gray.incidents);
+        assert_eq!(quarantine[0].class, FaultClass::GrayStraggler);
+        assert_eq!(quarantine[0].cordoned, vec![HostId(2)]);
+        assert_eq!(gray.quarantined, vec![HostId(2)]);
+        // Soft cordon: checkpoint at the boundary and swap — nothing lost.
+        assert_eq!(gray.lost_rollback_s, 0.0);
+        assert_eq!(gray.spares_claimed.len(), 1);
+
+        // The reactive-only baseline keeps paying the blind-steer alarm
+        // every slow iteration; quarantining once is strictly better.
+        let reactive = run_training(&t, &RecoveryPolicy::reactive_only(), &spec, &script);
+        assert!(reactive.completed);
+        assert!(reactive.quarantined.is_empty());
+        assert!(
+            gray.goodput() > reactive.goodput(),
+            "gray {} vs reactive {}",
+            gray.goodput(),
+            reactive.goodput()
+        );
+    }
+
+    #[test]
+    fn fail_stop_faults_never_trip_gray_mitigations() {
+        let t = topo();
+        // A transient (2 flap edges) and a hard host failure (1 edge per
+        // link, never restored) are fail-stop vocabulary: the gray
+        // detector must stay quiet and the run must match the
+        // reactive-only baseline byte for byte.
+        let script = FaultScript {
+            faults: vec![
+                InjectedFault::TransientLink {
+                    at_iter: 3,
+                    heal_after: SimDuration::from_millis(30),
+                },
+                InjectedFault::HostFailure {
+                    at_iter: 6,
+                    host_index: 1,
+                },
+            ],
+        };
+        let gray = run_training(&t, &RecoveryPolicy::gray_aware(), &quick_spec(), &script);
+        assert!(gray.completed, "incidents: {:?}", gray.incidents);
+        assert!(gray.incidents.iter().all(|i| !matches!(
+            i.action,
+            MitigationAction::LinkProbation
+                | MitigationAction::ProbeReadmit
+                | MitigationAction::ProactiveTorFailover
+                | MitigationAction::Quarantine
+        )));
+        assert!(gray.quarantined.is_empty());
+        let reactive = run_training(&t, &RecoveryPolicy::reactive_only(), &quick_spec(), &script);
+        assert_eq!(gray.fingerprint(), reactive.fingerprint());
+    }
+
+    #[test]
+    fn gray_campaigns_are_deterministic() {
+        let t = topo();
+        let script = FaultScript {
+            faults: vec![
+                InjectedFault::FlappingLink {
+                    at_iter: 3,
+                    period: 3,
+                    duty_cycle: 0.34,
+                    flap_count: 3,
+                },
+                InjectedFault::SlowHost {
+                    at_iter: 10,
+                    host_index: 5,
+                    factor: 0.1,
+                    intermittent: true,
+                },
+                InjectedFault::TransientLink {
+                    at_iter: 15,
+                    heal_after: SimDuration::from_millis(30),
+                },
+            ],
+        };
+        let spec = TrainingJobSpec {
+            iters: 26,
+            bytes: 256 << 20,
+            comp_s: 0.01,
+            ..TrainingJobSpec::default()
+        };
+        let a = run_training(&t, &RecoveryPolicy::gray_aware(), &spec, &script);
+        let b = run_training(&t, &RecoveryPolicy::gray_aware(), &spec, &script);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.completed, "incidents: {:?}", a.incidents);
+    }
+
+    #[test]
+    fn policy_rejects_bad_gray_knobs() {
+        let bad_probation = RecoveryPolicy {
+            gray_probation_iters: 0,
+            ..RecoveryPolicy::gray_aware()
+        };
+        assert_eq!(
+            bad_probation.validate(),
+            Err(PolicyError::ZeroGrayProbation)
+        );
+        let bad_threshold = RecoveryPolicy {
+            gray_suspicion_threshold: 1.5,
+            ..RecoveryPolicy::gray_aware()
+        };
+        assert_eq!(
+            bad_threshold.validate(),
+            Err(PolicyError::GrayThresholdOutOfRange { value: 1.5 })
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn pump_script() -> CascadeScript {
             row: 0,
             flow_frac: 0.4,
         }],
+        net_faults: Vec::new(),
     }
 }
 
@@ -147,6 +148,7 @@ fn power_cascade_caps_after_ride_through_and_is_attributed() {
             duration_iters: 14,
             battery_wh_per_rack: 8.0,
         }],
+        net_faults: Vec::new(),
     };
     let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &script);
     assert!(
@@ -179,6 +181,7 @@ fn a_generous_battery_absorbs_the_sag_without_a_trace() {
             duration_iters: 8,
             battery_wh_per_rack: 200.0,
         }],
+        net_faults: Vec::new(),
     };
     let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &script);
     assert!(r.recovery.completed);
@@ -201,6 +204,7 @@ fn optics_burst_flows_through_the_abort_path() {
             at_iter: 5,
             links: 2,
         }],
+        net_faults: Vec::new(),
     };
     let r = run_cascade(&t, &contrast_policy(), &cascade_spec(), &script);
     assert!(

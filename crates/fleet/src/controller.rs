@@ -21,7 +21,8 @@ use crate::report::{FleetReport, JobOutcome, JobStatus};
 use crate::workload::{generate_workload, JobRequest, WorkloadConfig};
 use astral_collectives::RunnerConfig;
 use astral_core::{
-    try_run_cascade_placed, CascadeReport, CascadeScript, JobPlacement, SubstrateFault,
+    try_run_cascade_placed, CascadeReport, CascadeScript, InjectedFault, JobPlacement,
+    SubstrateFault,
 };
 use astral_exec::Pool;
 use astral_sim::{SimRng, Summary};
@@ -57,6 +58,13 @@ pub enum FleetFaultKind {
     OpticsBurst {
         /// Same-rail links killed in the window.
         links: usize,
+    },
+    /// A fail-slow host in one rack row: partial NIC/optic degradation
+    /// that throttles a host without killing it (the gray-failure
+    /// family). Projected onto the first job host in the row.
+    SlowHost {
+        /// Surviving ingress-capacity fraction while slow, in (0, 1).
+        factor: f64,
     },
 }
 
@@ -312,9 +320,13 @@ pub fn try_run_fleet_campaign_with(
         .collect();
     let mut queue: BTreeSet<u32> = BTreeSet::new();
     let mut running: BTreeMap<u32, Running> = BTreeMap::new();
+    // Gray-quarantine verdicts harvested from completed segments: suspect
+    // hosts are deprioritized (not banned) by placement until they clear.
+    let mut avoid_until: BTreeMap<HostId, f64> = BTreeMap::new();
     let mut waits: Vec<f64> = Vec::new();
     let mut preemptions_total = 0u32;
     let mut spare_claims_total = 0u32;
+    let mut gray_avoided_total = 0u32;
     let mut stranded_hs = 0.0_f64;
     let mut makespan = 0.0_f64;
 
@@ -349,6 +361,12 @@ pub fn try_run_fleet_campaign_with(
                     t.useful_hs += rec.useful_s * nh;
                     t.spares_claimed += rec.spares_claimed.len() as u32;
                     spare_claims_total += rec.spares_claimed.len() as u32;
+                    if policy.gray_avoidance {
+                        for &h in &rec.quarantined {
+                            avoid_until.insert(h, now + policy.avoid_clear_s);
+                            gray_avoided_total += 1;
+                        }
+                    }
                     // Cordoned hosts are dead from (estimated) cordon time
                     // until repairs finish; everything else returns now.
                     let mut dead: BTreeSet<HostId> = BTreeSet::new();
@@ -407,6 +425,8 @@ pub fn try_run_fleet_campaign_with(
         // Admission pass: highest class first, FIFO inside a class. The
         // snapshot is fixed before any placement, so preemption victims
         // requeued mid-pass wait for the next event.
+        avoid_until.retain(|_, until| *until > now);
+        let avoid: BTreeSet<HostId> = avoid_until.keys().copied().collect();
         let mut order: Vec<u32> = queue.iter().copied().collect();
         order.sort_by_key(|id| {
             let t = &tenants[id];
@@ -431,7 +451,7 @@ pub fn try_run_fleet_campaign_with(
                 });
                 continue;
             }
-            let mut placed = engine.place(need, policy.placement, &free);
+            let mut placed = engine.place_avoiding(need, policy.placement, &free, &avoid);
             if matches!(placed, Err(PlacementError::InsufficientCapacity { .. }))
                 && policy.preemption
             {
@@ -479,7 +499,7 @@ pub fn try_run_fleet_campaign_with(
                         );
                         preemptions_total += 1;
                     }
-                    placed = engine.place(need, policy.placement, &free);
+                    placed = engine.place_avoiding(need, policy.placement, &free, &avoid);
                 }
             }
             let hosts = match placed {
@@ -570,6 +590,7 @@ pub fn try_run_fleet_campaign_with(
         waits,
         preemptions_total,
         spare_claims_total,
+        gray_avoided_total,
     )
 }
 
@@ -636,6 +657,7 @@ fn project_faults(
     let est_total = tenant.remaining as f64 * est_iter_s;
     let job_rows: BTreeSet<usize> = hosts.iter().filter_map(|&h| engine.row_of(h)).collect();
     let mut faults = Vec::new();
+    let mut net_faults = Vec::new();
     for f in fleet_faults {
         if f.at_s < t_start || f.at_s >= t_start + est_total {
             continue;
@@ -676,10 +698,25 @@ fn project_faults(
                     faults.push(SubstrateFault::OpticsBurst { at_iter, links });
                 }
             }
+            FleetFaultKind::SlowHost { factor } => {
+                // Gray faults ride the segment's network-fault script,
+                // pinned to the first job host in the afflicted row (the
+                // training engine addresses hosts by job-local index).
+                if let Some(host_index) =
+                    hosts.iter().position(|&h| engine.row_of(h) == Some(f.row))
+                {
+                    net_faults.push(InjectedFault::SlowHost {
+                        at_iter,
+                        host_index,
+                        factor,
+                        intermittent: false,
+                    });
+                }
+            }
         }
     }
     faults.sort_by_key(|f| f.at_iter());
-    CascadeScript { faults }
+    CascadeScript { faults, net_faults }
 }
 
 /// Fold the terminal tenant states into the cluster-level report.
@@ -693,6 +730,7 @@ fn finalize(
     waits: Vec<f64>,
     preemptions: u32,
     spare_claims: u32,
+    gray_avoided: u32,
 ) -> Result<FleetReport, FleetError> {
     let mut jobs = Vec::with_capacity(tenants.len());
     let mut useful_completed = 0.0_f64;
@@ -751,6 +789,7 @@ fn finalize(
         queue_wait_p99_s: wait.percentile(99.0).unwrap_or(0.0),
         preemptions,
         spare_claims,
+        gray_avoided,
         completed,
         stranded_tenants,
     })

@@ -146,6 +146,26 @@ impl PlacementEngine {
         Ok(placed)
     }
 
+    /// [`PlacementEngine::place`] with a fleet avoid list: suspect
+    /// (gray-quarantined) hosts are deprioritized, not banned — placement
+    /// first tries the free set minus `avoid`, and falls back to the full
+    /// free set rather than leaving a job queued behind suspect capacity.
+    pub fn place_avoiding(
+        &self,
+        need: usize,
+        strategy: PlacementStrategy,
+        free: &BTreeSet<HostId>,
+        avoid: &BTreeSet<HostId>,
+    ) -> Result<Vec<HostId>, PlacementError> {
+        if !avoid.is_empty() {
+            let clean: BTreeSet<HostId> = free.difference(avoid).copied().collect();
+            if clean.len() >= need {
+                return self.place(need, strategy, &clean);
+            }
+        }
+        self.place(need, strategy, free)
+    }
+
     /// One block if any fits (rail-affine collectives), else first-fit.
     fn place_rail_affine(&self, need: usize, free: &BTreeSet<HostId>) -> Vec<HostId> {
         for row in &self.rows {
@@ -254,6 +274,24 @@ mod tests {
                 free: free.len()
             })
         );
+    }
+
+    #[test]
+    fn avoid_list_deprioritizes_but_never_starves() {
+        let e = engine();
+        let free = all_free(&e);
+        let avoid: BTreeSet<HostId> = [HostId(0), HostId(1)].into_iter().collect();
+        let placed = e
+            .place_avoiding(8, PlacementStrategy::FirstFit, &free, &avoid)
+            .unwrap();
+        assert!(placed.iter().all(|h| !avoid.contains(h)));
+        // When only suspect capacity remains, the job still places.
+        let tight: BTreeSet<HostId> = free.iter().copied().take(3).collect();
+        let avoid_all: BTreeSet<HostId> = tight.clone();
+        let placed = e
+            .place_avoiding(3, PlacementStrategy::FirstFit, &tight, &avoid_all)
+            .unwrap();
+        assert_eq!(placed.len(), 3);
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub struct FleetPolicy {
     pub retry_budget: u32,
     /// Wall-clock to repair a cordoned host before it rejoins the fleet.
     pub host_repair_s: f64,
+    /// Harvest per-job gray-failure quarantine verdicts into a fleet-wide
+    /// avoid list: new placements deprioritize suspect hosts (soft — a job
+    /// still places on them when nothing else is free).
+    pub gray_avoidance: bool,
+    /// Wall-clock after which a suspect host drops off the avoid list and
+    /// is scheduled normally again, seconds.
+    pub avoid_clear_s: f64,
     /// Per-job recovery policy handed to the training engine.
     pub recovery: RecoveryPolicy,
 }
@@ -65,6 +72,8 @@ impl Default for FleetPolicy {
             requeue: true,
             retry_budget: 2,
             host_repair_s: 600.0,
+            gray_avoidance: true,
+            avoid_clear_s: 900.0,
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -93,6 +102,13 @@ pub enum FleetError {
     },
     /// `host_repair_s` is negative or non-finite.
     BadRepairCost {
+        /// The offending value, seconds.
+        value: f64,
+    },
+    /// `avoid_clear_s` is negative or non-finite while gray avoidance is
+    /// enabled: a suspect host would either never clear deterministically
+    /// or clear before the verdict lands.
+    BadAvoidClear {
         /// The offending value, seconds.
         value: f64,
     },
@@ -128,6 +144,12 @@ impl std::fmt::Display for FleetError {
                 write!(
                     f,
                     "host_repair_s must be finite and non-negative, got {value}"
+                )
+            }
+            FleetError::BadAvoidClear { value } => {
+                write!(
+                    f,
+                    "avoid_clear_s must be finite and non-negative, got {value}"
                 )
             }
             FleetError::Recovery(e) => write!(f, "recovery policy: {e}"),
@@ -182,6 +204,11 @@ impl FleetPolicy {
         if !self.host_repair_s.is_finite() || self.host_repair_s < 0.0 {
             return Err(FleetError::BadRepairCost {
                 value: self.host_repair_s,
+            });
+        }
+        if self.gray_avoidance && (!self.avoid_clear_s.is_finite() || self.avoid_clear_s < 0.0) {
+            return Err(FleetError::BadAvoidClear {
+                value: self.avoid_clear_s,
             });
         }
         self.recovery.validate()?;
@@ -245,6 +272,22 @@ mod tests {
             p.validate(),
             Err(FleetError::Recovery(PolicyError::ZeroCheckpointInterval))
         );
+    }
+
+    #[test]
+    fn bad_avoid_clear_is_rejected() {
+        let p = FleetPolicy {
+            avoid_clear_s: -1.0,
+            ..FleetPolicy::default()
+        };
+        assert_eq!(p.validate(), Err(FleetError::BadAvoidClear { value: -1.0 }));
+        // With avoidance off, the knob is inert and not validated.
+        let p = FleetPolicy {
+            gray_avoidance: false,
+            avoid_clear_s: f64::NAN,
+            ..FleetPolicy::default()
+        };
+        assert_eq!(p.validate(), Ok(()));
     }
 
     #[test]

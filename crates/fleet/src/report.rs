@@ -90,6 +90,9 @@ pub struct FleetReport {
     pub preemptions: u32,
     /// Spare-pool claims across the campaign.
     pub spare_claims: u32,
+    /// Gray-quarantine verdicts harvested into the fleet avoid list:
+    /// placements deprioritize these suspect hosts until they clear.
+    pub gray_avoided: u32,
     /// Tenants that completed.
     pub completed: usize,
     /// Tenants that failed or starved — the stranded-tenant count the
@@ -117,7 +120,7 @@ impl FleetReport {
     /// nothing here derives from them).
     pub fn fingerprint(&self) -> String {
         let mut s = format!(
-            "fleet:{}·mk:{:016x}·g:{:016x}·u:{:016x}·s:{:016x}·f:{:016x}·q50:{:016x}·q99:{:016x}·p:{}·c:{}·done:{}·str:{}",
+            "fleet:{}·mk:{:016x}·g:{:016x}·u:{:016x}·s:{:016x}·f:{:016x}·q50:{:016x}·q99:{:016x}·p:{}·c:{}·ga:{}·done:{}·str:{}",
             self.fleet_hosts,
             self.makespan_s.to_bits(),
             self.cluster_goodput.to_bits(),
@@ -128,6 +131,7 @@ impl FleetReport {
             self.queue_wait_p99_s.to_bits(),
             self.preemptions,
             self.spare_claims,
+            self.gray_avoided,
             self.completed,
             self.stranded_tenants,
         );

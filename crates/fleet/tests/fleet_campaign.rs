@@ -3,11 +3,11 @@
 //! pool widths and rate-solver modes.
 
 use astral_collectives::RunnerConfig;
-use astral_core::AbortReason;
+use astral_core::{AbortReason, RecoveryPolicy};
 use astral_exec::Pool;
 use astral_fleet::{
     run_fleet_campaign, try_run_fleet_campaign_with, FleetCampaign, FleetFault, FleetFaultConfig,
-    FleetFaultKind, FleetPolicy, JobStatus, WorkloadConfig,
+    FleetFaultKind, FleetPolicy, JobStatus, PlacementStrategy, WorkloadConfig,
 };
 use astral_topo::{build_astral, AstralParams, Topology};
 use proptest::prelude::*;
@@ -92,6 +92,65 @@ fn naive_packing_strands_tenants_where_blast_radius_spreading_survives() {
         "blast {} ≤ naive {}",
         blast.cluster_goodput,
         naive.cluster_goodput
+    );
+}
+
+/// A fail-slow host keeps afflicting rack row 0: gray-aware recovery soft-
+/// quarantines it inside each segment (spare swap, no abort), and with
+/// fleet gray avoidance the quarantine verdicts land on the fleet avoid
+/// list so later placements deprioritize the suspect capacity. The
+/// `gray_avoidance` toggle gates only the harvest.
+#[test]
+fn gray_quarantines_feed_the_fleet_avoid_list() {
+    let t = topo();
+    let faults: Vec<FleetFault> = (0..12)
+        .map(|i| FleetFault {
+            at_s: 2.0 + 20.0 * i as f64,
+            row: 0,
+            kind: FleetFaultKind::SlowHost { factor: 0.25 },
+        })
+        .collect();
+    let campaign = FleetCampaign {
+        workload: WorkloadConfig {
+            jobs: 4,
+            mean_interarrival_s: 25.0,
+            min_hosts: 8,
+            max_hosts: 8,
+            iters: (20, 30),
+            seed: 7,
+        },
+        faults: FleetFaultConfig::scripted(faults),
+    };
+    // First-fit keeps packing tenants into row 0, straight onto the
+    // fail-slow host.
+    let gray = FleetPolicy {
+        placement: PlacementStrategy::FirstFit,
+        recovery: RecoveryPolicy::gray_aware(),
+        ..FleetPolicy::default()
+    };
+    let report = run_fleet_campaign(&t, &gray, &campaign);
+    assert!(
+        report.gray_avoided > 0,
+        "no quarantine verdict reached the fleet avoid list: {report:?}"
+    );
+    assert!(
+        report.spare_claims > 0,
+        "soft quarantine must swap in a spare"
+    );
+    assert_eq!(
+        report.stranded_tenants, 0,
+        "soft quarantine never kills a tenant: {:?}",
+        report.jobs
+    );
+
+    let no_harvest = FleetPolicy {
+        gray_avoidance: false,
+        ..gray
+    };
+    let blind = run_fleet_campaign(&t, &no_harvest, &campaign);
+    assert_eq!(
+        blind.gray_avoided, 0,
+        "avoid-list harvest must be gated by the policy toggle"
     );
 }
 

@@ -82,6 +82,11 @@ impl Default for AnalyzerConfig {
     }
 }
 
+/// Up/down transition count at which a link counts as *flapping* rather
+/// than transiently failed: one hard fail + one restore is 2 edges; a
+/// second fail on the same link makes the evidence recurrent.
+pub const FLAP_EDGES_MIN: u32 = 3;
+
 /// The hierarchical correlation analyzer.
 #[derive(Debug, Clone, Default)]
 pub struct Analyzer {
@@ -382,6 +387,33 @@ impl Analyzer {
                 manifestation,
                 cause: CauseClass::NicOrLink,
                 culprit: Culprit::Unknown,
+                evidence,
+                queries,
+            };
+        }
+
+        // Physical layer first: the link flap counters. Recurrent up/down
+        // transitions on one link (≥ 3 edges: a fail + restore is only 2)
+        // separate a *flapping* link from a one-off transient or a clean
+        // fiber cut — the recurrence is the evidence, so the flapped link
+        // itself is the culprit, not the overlap switch.
+        queries += 1;
+        let mut flapped: Vec<(LinkId, u32)> = snap
+            .link_flaps
+            .iter()
+            .filter(|&(_, &edges)| edges >= FLAP_EDGES_MIN)
+            .map(|(&l, &edges)| (l, edges))
+            .collect();
+        flapped.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        if let Some(&(link, edges)) = flapped.first() {
+            evidence.push(format!(
+                "physical layer: link {link} recorded {edges} up/down transitions — \
+                 recurrent flapping, not a one-off transient"
+            ));
+            return Diagnosis {
+                manifestation,
+                cause: CauseClass::NicOrLink,
+                culprit: Culprit::Link(link),
                 evidence,
                 queries,
             };
@@ -712,6 +744,39 @@ mod tests {
         assert_eq!(d.manifestation, Manifestation::FailStop);
         assert_eq!(d.cause, CauseClass::NicOrLink);
         assert_eq!(d.culprit, Culprit::Switch(NodeId(100)));
+    }
+
+    #[test]
+    fn recurrent_flap_edges_name_the_link_not_the_switch() {
+        let mut snap = base_snapshot(8);
+        for r in &mut snap.ranks {
+            r.error_log = Some("NCCL remote error".into());
+        }
+        let qp = QpId(1);
+        snap.qp_registry.push(QpRecord {
+            qp,
+            tuple: FiveTuple::roce(10, 20, 50_000),
+            src_nic: NodeId(1),
+            dst_nic: NodeId(2),
+            ctx: QpContext::anonymous(),
+        });
+        snap.err_cqe.push(astral_net::ErrCqe {
+            time: astral_sim::SimTime::from_millis(5),
+            qp,
+            tuple: FiveTuple::roce(10, 20, 50_000),
+        });
+        snap.sflow
+            .insert(qp, vec![NodeId(1), NodeId(100), NodeId(2)]);
+        // A fail + restore is 2 edges — below the flap threshold.
+        snap.link_flaps.insert(LinkId(7), 2);
+        let d = Analyzer::new().diagnose(&snap, &CannedProber::default());
+        assert_ne!(d.culprit, Culprit::Link(LinkId(7)));
+        // Three cycles = 6 edges: recurrent, the link itself is blamed.
+        snap.link_flaps.insert(LinkId(7), 6);
+        let d = Analyzer::new().diagnose(&snap, &CannedProber::default());
+        assert_eq!(d.cause, CauseClass::NicOrLink);
+        assert_eq!(d.culprit, Culprit::Link(LinkId(7)));
+        assert!(d.evidence.iter().any(|e| e.contains("recurrent flapping")));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   INT hop delays → switch counters).
 //! * [`OnlineDetector`] — incremental per-iteration anomaly detection,
 //!   the entry point the closed-loop recovery engine polls mid-training.
+//! * [`GrayDetector`] — suspicion-scored classification of partial and
+//!   intermittent faults (flapping links, degrading optics, slow hosts)
+//!   that never trip a clean fail-stop alarm.
 //! * [`run_fault_scenario`] — failure injection campaigns over the
 //!   flow-level simulator, standing in for production incidents.
 //! * [`mttlf`] — the Figure 10 time-to-locate model (manual bisection vs
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod analyzer;
+mod gray;
 pub mod mttlf;
 pub mod offline;
 mod online;
@@ -32,7 +36,10 @@ mod scenario;
 mod snapshot;
 mod taxonomy;
 
-pub use analyzer::{Analyzer, AnalyzerConfig, Culprit, Diagnosis};
+pub use analyzer::{Analyzer, AnalyzerConfig, Culprit, Diagnosis, FLAP_EDGES_MIN};
+pub use gray::{
+    GrayDetector, GrayDetectorConfig, GrayEdge, GrayEvent, GrayPattern, GraySample, GrayVerdict,
+};
 pub use online::{OnlineAlarm, OnlineDetector, OnlineDetectorConfig};
 pub use scenario::{run_fault_scenario, Fault, ScenarioConfig, ScenarioOutcome, TruthCulprit};
 pub use snapshot::{CannedProber, HostHealth, IntProber, JobDesc, RankProgress, Snapshot};

@@ -221,50 +221,50 @@ pub fn run_fault_scenario<'t>(
     let mut failed_at: Option<u32> = None;
     for it in 0..cfg.iters {
         // Mid-window hard faults land after the first healthy iteration.
-        if it == 1 {
-            match fault {
-                Fault::OpticalFiberCut => {
-                    // Cut a fabric link on an active QP's path
-                    // (deterministically: the lexicographically first path).
-                    let mut paths: Vec<&Vec<NodeId>> = runner
-                        .sim()
-                        .telemetry()
-                        .sflow_paths
-                        .values()
-                        .filter(|p| p.len() >= 3)
-                        .collect();
-                    paths.sort();
-                    let link = paths
-                        .get(rng.below(paths.len().max(1) as u64) as usize)
-                        .and_then(|p| topo.link_between(p[1], p[2]));
-                    if let Some(l) = link {
-                        let now = runner.sim().now();
-                        runner.sim_mut().fail_link_at(now, l);
-                        cut_link = Some(l);
-                        truth = TruthCulprit::Link(l);
-                    }
-                }
-                Fault::LinkFlap => {
-                    let mut paths: Vec<&Vec<NodeId>> = runner
-                        .sim()
-                        .telemetry()
-                        .sflow_paths
-                        .values()
-                        .filter(|p| p.len() >= 3)
-                        .collect();
-                    paths.sort();
-                    let link = paths.first().and_then(|p| topo.link_between(p[1], p[2]));
-                    if let Some(l) = link {
-                        let now = runner.sim().now();
-                        runner.sim_mut().fail_link_at(now, l);
-                        runner
-                            .sim_mut()
-                            .restore_link_at(now + astral_sim::SimDuration::from_millis(30), l);
-                        flap_link = Some(l);
-                        truth = TruthCulprit::Link(l);
-                    }
-                }
-                _ => {}
+        if it == 1 && fault == Fault::OpticalFiberCut {
+            // Cut a fabric link on an active QP's path
+            // (deterministically: the lexicographically first path).
+            let mut paths: Vec<&Vec<NodeId>> = runner
+                .sim()
+                .telemetry()
+                .sflow_paths
+                .values()
+                .filter(|p| p.len() >= 3)
+                .collect();
+            paths.sort();
+            let link = paths
+                .get(rng.below(paths.len().max(1) as u64) as usize)
+                .and_then(|p| topo.link_between(p[1], p[2]));
+            if let Some(l) = link {
+                let now = runner.sim().now();
+                runner.sim_mut().fail_link_at(now, l);
+                cut_link = Some(l);
+                truth = TruthCulprit::Link(l);
+            }
+        }
+        // A flapper is *recurrent*: the same link drops and heals once per
+        // iteration for three iterations (6 up/down edges in the flap
+        // counters — a single transient would log only 2).
+        if matches!(fault, Fault::LinkFlap) && (1..=3).contains(&it) {
+            let link = flap_link.or_else(|| {
+                let mut paths: Vec<&Vec<NodeId>> = runner
+                    .sim()
+                    .telemetry()
+                    .sflow_paths
+                    .values()
+                    .filter(|p| p.len() >= 3)
+                    .collect();
+                paths.sort();
+                paths.first().and_then(|p| topo.link_between(p[1], p[2]))
+            });
+            if let Some(l) = link {
+                let now = runner.sim().now();
+                runner.sim_mut().fail_link_at(now, l);
+                runner
+                    .sim_mut()
+                    .restore_link_at(now + astral_sim::SimDuration::from_millis(30), l);
+                flap_link = Some(l);
+                truth = TruthCulprit::Link(l);
             }
         }
         let res = runner.all_reduce_flat(&group, cfg.bytes);
@@ -319,10 +319,7 @@ pub fn run_fault_scenario<'t>(
         ..Snapshot::default()
     };
     snap.harvest_network(runner.sim());
-    if let Some(l) = flap_link {
-        *snap.link_flaps.entry(l).or_insert(0) += 2;
-    }
-    let _ = cut_link;
+    let _ = (cut_link, flap_link);
 
     // QP rate fractions from the ms-level series.
     let port_rate = 200e9;
@@ -508,6 +505,24 @@ mod tests {
             (Culprit::Host(_), TruthCulprit::Link(_)) => {}
             (c, t) => panic!("unexpected localization {c:?} vs truth {t:?}"),
         }
+    }
+
+    #[test]
+    fn link_flap_names_the_flapping_link_exactly() {
+        let (d, truth) = diagnose(Fault::LinkFlap);
+        assert_eq!(d.cause, CauseClass::NicOrLink);
+        // Three fail+restore cycles leave ≥ 6 flap edges on one link; the
+        // physical-layer flap consult must name that exact link rather
+        // than falling through to the path-overlap switch heuristic.
+        match (d.culprit, truth) {
+            (Culprit::Link(l), TruthCulprit::Link(t)) => assert_eq!(l, t),
+            (c, t) => panic!("flapper not pinned to its link: {c:?} vs truth {t:?}"),
+        }
+        assert!(
+            d.evidence.iter().any(|e| e.contains("flapping")),
+            "evidence: {:?}",
+            d.evidence
+        );
     }
 
     #[test]

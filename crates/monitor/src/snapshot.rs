@@ -140,6 +140,9 @@ impl Snapshot {
                 self.link_ecn.insert(LinkId(i as u32), c.ecn_marks);
             }
         }
+        for (&l, &edges) in &t.link_flaps {
+            self.link_flaps.insert(l, edges);
+        }
     }
 
     /// Health record of a host, if present.

@@ -59,6 +59,11 @@ pub struct Telemetry {
     pub sflow_paths: HashMap<QpId, Vec<NodeId>>,
     /// Per-link counters, indexed by `LinkId`.
     pub link: Vec<LinkCounters>,
+    /// Physical layer: cumulative link up/down transition counts (flap
+    /// edges). A hard fail counts one edge, a restore of a hard-failed
+    /// link another; capacity degrades are not transitions and do not
+    /// count. A healthy fabric leaves this empty.
+    pub link_flaps: HashMap<LinkId, u32>,
 }
 
 /// Registry entry for one queue pair.

@@ -147,6 +147,74 @@ proptest! {
     }
 }
 
+// Byte-volume conservation through the gray-failure lifecycle: partial
+// degradation never kills a flow, only slows it, so any number of
+// degrade→restore cycles — on a path link or on a whole host's ingress
+// drains — must still deliver exactly the injected byte volume.
+proptest! {
+    #[test]
+    fn bytes_conserved_across_degrade_restore_cycles(
+        n_flows in 1usize..4,
+        mb in 20u64..120,
+        start_us in 10u64..200,
+        frac_pct in 5u32..80,
+        hold_ms in 1u64..12,
+        cycles in 1usize..4,
+        on_host_sel in 0u32..2,
+    ) {
+        use astral_net::{FlowSpec, FlowState, NetConfig, NetworkSim, QpContext};
+        use astral_sim::{SimDuration, SimTime};
+
+        let topo = build_astral(&AstralParams::sim_small());
+        let mut sim = NetworkSim::new(&topo, NetConfig::default());
+        let bytes = mb * 1_000_000;
+        let ids: Vec<_> = (0..n_flows)
+            .map(|i| {
+                let qp = sim.register_qp_auto(
+                    topo.gpu_nic(GpuId(i as u32 * 4)),
+                    topo.gpu_nic(GpuId((8 + i as u32) * 4)),
+                    QpContext::anonymous(),
+                );
+                sim.inject(FlowSpec { qp, bytes, weight: 1.0 }).unwrap()
+            })
+            .collect();
+        sim.run_until(SimTime::from_micros(5));
+        // Either a mid-fabric link on the first flow's path or the first
+        // destination host's whole ingress (every rail's last hop).
+        let victim = sim.stats(ids[0]).path[1];
+        let host = topo.hosts()[8].id;
+        let frac = frac_pct as f64 / 100.0;
+        let on_host = on_host_sel == 1;
+        for c in 0..cycles {
+            let t0 = SimTime::from_micros(start_us + c as u64 * 20_000);
+            let t1 = t0 + SimDuration::from_millis(hold_ms);
+            if on_host {
+                sim.degrade_host_at(t0, host, frac);
+                sim.restore_host_at(t1, host);
+            } else {
+                sim.degrade_link_at(t0, victim, frac);
+                sim.restore_link_at(t1, victim);
+            }
+        }
+        sim.run_until_idle();
+        prop_assert!(
+            sim.degraded_links().is_empty(),
+            "restore must clear every degradation"
+        );
+        for &id in &ids {
+            let st = sim.stats(id);
+            prop_assert_eq!(st.state, FlowState::Done, "flow {:?} not done", id);
+            // Degrade cycles multiply the rate-change boundaries a flow
+            // integrates across, so allow float accumulation at 1 ppm
+            // (unlike the abort/re-admit path, which restarts the count).
+            prop_assert!(
+                (st.delivered - bytes as f64).abs() < 1e-6 * bytes as f64,
+                "flow {:?} delivered {} of {}", id, st.delivered, bytes
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Incremental solver ≡ from-scratch oracle under churn
 // ---------------------------------------------------------------------

@@ -6,10 +6,19 @@
 //! cluster-wide. The hierarchical analyzer drills from the NCCL timeline
 //! through QP rates and INT per-hop delays down to the sick host.
 //!
+//! Act two is the gray-failure counterpart (DESIGN.md §11): a link that
+//! flaps instead of dying. The suspicion-scored detector classifies the
+//! recurrent edges as a flapper, the recovery engine steers around it and
+//! places it under probation, and a quiet probe window readmits it —
+//! one decisive mitigation instead of a fresh alarm per flap.
+//!
 //! ```sh
 //! cargo run --release --example failure_diagnosis
 //! ```
 
+use astral::core::{
+    run_training, FaultScript, InjectedFault, MitigationAction, RecoveryPolicy, TrainingJobSpec,
+};
 use astral::monitor::{run_fault_scenario, Analyzer, Fault, ScenarioConfig};
 use astral::topo::{build_astral, AstralParams, HostId};
 
@@ -88,5 +97,55 @@ fn main() {
         manual / 3600.0,
         auto / 60.0,
         (manual / auto) as u64
+    );
+
+    // ------------------------------------------------------------------
+    // Act two: a gray failure — the link flaps instead of dying.
+    // ------------------------------------------------------------------
+    println!("\n=== injecting: flapping link (3 down phases, period 3 iters) ===\n");
+    let script = FaultScript {
+        faults: vec![InjectedFault::FlappingLink {
+            at_iter: 3,
+            period: 3,
+            duty_cycle: 0.34,
+            flap_count: 3,
+        }],
+    };
+    let spec = TrainingJobSpec {
+        iters: 24,
+        bytes: 256 << 20,
+        comp_s: 0.01,
+        ..TrainingJobSpec::default()
+    };
+    let report = run_training(&topo, &RecoveryPolicy::gray_aware(), &spec, &script);
+    println!("--- incident log ---");
+    for inc in &report.incidents {
+        println!(
+            "  iter {:>2}: {:?} -> {:?} (blamed {:?})",
+            inc.iter, inc.class, inc.action, inc.blamed
+        );
+    }
+    let probations = report
+        .incidents
+        .iter()
+        .filter(|i| i.action == MitigationAction::LinkProbation)
+        .count();
+    let readmits = report
+        .incidents
+        .iter()
+        .filter(|i| i.action == MitigationAction::ProbeReadmit)
+        .count();
+    println!(
+        "\ncompleted: {} | goodput {:.3} | {} probation(s), {} probe-readmit(s), \
+         {} rollback seconds",
+        report.completed,
+        report.goodput(),
+        probations,
+        readmits,
+        report.lost_rollback_s,
+    );
+    println!(
+        "the flapper drew one probation and one readmit — not {} separate alarms",
+        script.faults.len() * 3
     );
 }
