@@ -16,11 +16,12 @@
 //! battery pool at 1/2/8 threads and on the per-pod sharded rate solver,
 //! and all fingerprints must be byte-identical.
 
-use astral_bench::Scenario;
+use astral_bench::{dump_trace_artifact, Scenario};
 use astral_collectives::RunnerConfig;
 use astral_core::{
     try_run_training_battery_with, try_run_training_placed_with, FaultScript, InjectedFault,
-    JobPlacement, MitigationAction, RecoveryPolicy, RecoveryReport, TrainingJobSpec, TrainingRun,
+    JobPlacement, MitigationAction, RecoveryPolicy, RecoveryReport, TraceReplayer, TrainingJobSpec,
+    TrainingRun,
 };
 use astral_exec::Pool;
 use astral_sim::SimDuration;
@@ -215,6 +216,44 @@ fn main() {
             );
         }
     }
+    // Trace + replay: re-run the gray-aware campaign with the structured
+    // trace ring on, re-drive the recorded timeline through the replayer,
+    // and hard-assert report and timeline reproduce byte for byte. The
+    // recording is dumped to $ASTRAL_TRACE_DIR so a CI failure ships the
+    // exact timeline that diverged as an artifact.
+    let mut traced_cfg = RunnerConfig::default();
+    traced_cfg.net.trace = true;
+    let recorded = try_run_training_placed_with(
+        &topo,
+        &RecoveryPolicy::gray_aware(),
+        &spec(),
+        &script,
+        &JobPlacement::prefix(spec().hosts, spec().spares),
+        None,
+        traced_cfg,
+    )
+    .expect("gray policy validates");
+    assert_eq!(
+        recorded.fingerprint(),
+        gray.fingerprint(),
+        "enabling the trace ring perturbed the gray-aware run"
+    );
+    let replayer = TraceReplayer::from_report(&recorded);
+    let (outcome, _) = replayer
+        .replay(
+            &topo,
+            &RecoveryPolicy::gray_aware(),
+            &spec(),
+            &script,
+            &JobPlacement::prefix(spec().hosts, spec().spares),
+            None,
+            traced_cfg,
+        )
+        .expect("replay validates");
+    outcome.assert_identical();
+    sc.metric("trace_records", recorded.trace.len() as u64);
+    dump_trace_artifact("fig_gray_failure_gray_aware", &recorded.trace);
+
     let mut sharded_cfg = RunnerConfig::default();
     sharded_cfg.net.sharded_solver = true;
     for (policy, want) in [

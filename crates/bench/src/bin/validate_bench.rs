@@ -5,6 +5,20 @@
 //! fields, their shapes, and that the id is one the harness can emit
 //! ([`Report::KNOWN_IDS`]). Exits non-zero if any report is malformed or
 //! none are found, so CI can gate on it.
+//!
+//! Additional modes:
+//!
+//! * `--list-smoke` / `--list-determinism` — print the canonical CI
+//!   binary lists ([`astral_bench::SMOKE_BINS`] /
+//!   [`astral_bench::DETERMINISM_BINS`]), one per line, so both CI jobs
+//!   consume one source of truth instead of hand-maintained copies.
+//! * `--compare <fresh-dir> <baseline-dir>` — the bench-regression gate:
+//!   every committed `BENCH_<id>.json` baseline must have a fresh
+//!   counterpart whose metrics match within per-metric tolerance
+//!   (relative 1e-6 — deterministic metrics reproduce exactly; the slack
+//!   only absorbs cross-machine libm drift). Keys prefixed `wall_clock`
+//!   and keys containing `speedup` are timing, not semantics, and are
+//!   exempt. Exits non-zero on any drift or missing report.
 
 use astral_bench::Report;
 use serde::Value;
@@ -62,8 +76,169 @@ fn validate(text: &str) -> Result<String, String> {
     Ok(id)
 }
 
+/// Relative tolerance of the `--compare` gate. Deterministic metrics
+/// reproduce bit-exactly on one machine; the slack absorbs last-ulp
+/// drift of transcendental libm calls across OS images.
+const COMPARE_REL_TOL: f64 = 1e-6;
+
+/// Timing-derived metric keys the `--compare` gate must not pin.
+fn compare_exempt(key: &str) -> bool {
+    key.starts_with("wall_clock") || key.contains("speedup")
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(f) => Some(f),
+        Value::U64(u) => Some(u as f64),
+        Value::I64(i) => Some(i as f64),
+        _ => None,
+    }
+}
+
+/// Flatten a report's `metrics` map to `(key, value)` pairs.
+fn metrics_of(text: &str) -> Result<Vec<(String, Value)>, String> {
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("parse error: {e}"))?;
+    let Value::Map(pairs) = &value else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Value::Map(metrics)) = field(pairs, "metrics") else {
+        return Err("missing `metrics` object".into());
+    };
+    Ok(metrics
+        .iter()
+        .filter_map(|(k, v)| k.as_str().map(|k| (k.to_string(), v.clone())))
+        .collect())
+}
+
+/// One baseline report vs its fresh counterpart. Returns the list of
+/// drift complaints (empty = pass).
+fn compare_reports(fresh: &str, baseline: &str) -> Result<Vec<String>, String> {
+    let fresh = metrics_of(fresh)?;
+    let baseline = metrics_of(baseline)?;
+    let mut complaints = Vec::new();
+    for (key, want) in &baseline {
+        if compare_exempt(key) {
+            continue;
+        }
+        let Some(got) = fresh.iter().find(|(k, _)| k == key).map(|(_, v)| v) else {
+            complaints.push(format!("metric `{key}` missing from the fresh report"));
+            continue;
+        };
+        match (numeric(want), numeric(got)) {
+            (Some(w), Some(g)) => {
+                let tol = COMPARE_REL_TOL * w.abs().max(g.abs()).max(1e-12);
+                if (w - g).abs() > tol {
+                    complaints.push(format!("metric `{key}` drifted: baseline {w}, fresh {g}"));
+                }
+            }
+            _ => {
+                if format!("{want:?}") != format!("{got:?}") {
+                    complaints.push(format!(
+                        "metric `{key}` changed shape: baseline {want:?}, fresh {got:?}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(complaints)
+}
+
+/// The `--compare` gate over two directories. Iterates the *baseline*
+/// side: a committed baseline with no fresh counterpart fails (the smoke
+/// run stopped emitting it); a fresh report with no baseline is fine
+/// (new scenarios grow baselines in their own PR).
+fn run_compare(fresh_dir: &str, baseline_dir: &str) -> i32 {
+    let baselines = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => {
+            let mut names: Vec<_> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect();
+            names.sort();
+            names
+        }
+        Err(e) => {
+            eprintln!("cannot read baseline dir {baseline_dir}: {e}");
+            return 2;
+        }
+    };
+    if baselines.is_empty() {
+        eprintln!("no BENCH_*.json baselines in {baseline_dir}");
+        return 2;
+    }
+    let mut failed = 0usize;
+    for base_path in &baselines {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?");
+        let fresh_path = std::path::Path::new(fresh_dir).join(name);
+        let baseline = match std::fs::read_to_string(base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {name}: cannot read baseline: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {name}: fresh report missing ({e})");
+                failed += 1;
+                continue;
+            }
+        };
+        match compare_reports(&fresh, &baseline) {
+            Ok(complaints) if complaints.is_empty() => println!("ok   {name}"),
+            Ok(complaints) => {
+                for c in &complaints {
+                    eprintln!("FAIL {name}: {c}");
+                }
+                failed += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                failed += 1;
+            }
+        }
+    }
+    println!(
+        "\n{} baseline(s) compared, {failed} regression(s)",
+        baselines.len()
+    );
+    i32::from(failed > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list-smoke") => {
+            for bin in astral_bench::SMOKE_BINS {
+                println!("{bin}");
+            }
+            return;
+        }
+        Some("--list-determinism") => {
+            for bin in astral_bench::DETERMINISM_BINS {
+                println!("{bin}");
+            }
+            return;
+        }
+        Some("--compare") => {
+            let [_, fresh, baseline] = &args[..] else {
+                eprintln!("usage: validate_bench --compare <fresh-dir> <baseline-dir>");
+                std::process::exit(2);
+            };
+            std::process::exit(run_compare(fresh, baseline));
+        }
+        _ => {}
+    }
     let dirs: Vec<String> = if args.is_empty() {
         vec![std::env::var("ASTRAL_BENCH_DIR").unwrap_or_else(|_| ".".into())]
     } else {

@@ -16,7 +16,7 @@
 //!          fig15_power_iterations fig16_power_tidal \
 //!          fig17_ecmp_reassignment fig18_crossdc_pp_oversub \
 //!          fig19_scaling_efficiency fig_cascade_ablation \
-//!          fig_gray_failure fig_fleet_campaign \
+//!          fig_gray_failure fig_trace_correlation fig_fleet_campaign \
 //!          ablation_hash_salt ablation_rail_design \
 //!          appa_ecmp_rationale appc_monitor_overhead \
 //!          table1_llama3_operators perf_solver_alltoall \
@@ -26,8 +26,15 @@
 //! ```
 //!
 //! Reports land in `$ASTRAL_BENCH_DIR` (default: the working directory).
+//! Scenarios that record `astral-trace` timelines additionally dump them
+//! as JSON-lines under `$ASTRAL_TRACE_DIR` when it is set (see
+//! [`dump_trace_artifact`]) — CI uploads those on failure so a diverging
+//! run can be diagnosed record by record.
 //! `validate_bench` checks every emitted report for the required schema
-//! and that its id is a known one; `perf_solver_alltoall` records the
+//! and that its id is a known one, lists the canonical smoke/determinism
+//! binaries (`--list-smoke`, `--list-determinism`), and gates metric
+//! regressions against committed baselines (`--compare`);
+//! `perf_solver_alltoall` records the
 //! incremental-vs-full solver speedup, `perf_frontier` records the
 //! sharded-vs-global frontier speedup at 8K–512K GPUs, and
 //! `perf_parallel_campaigns` records the serial-vs-parallel
@@ -42,6 +49,67 @@ use astral_net::SolverCounters;
 use serde::{Serialize, Value};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// The canonical bench-smoke binary list, in execution order — the single
+/// source of truth both CI jobs consume via `validate_bench --list-smoke`
+/// (hand-maintained copies in the workflow file drifted before; now the
+/// workflow asks the binary).
+pub const SMOKE_BINS: [&str; 10] = [
+    "fig02_alltoall_fragmentation",
+    "fig10_goodput_recovery",
+    "fig_cascade_ablation",
+    "fig_gray_failure",
+    "fig_trace_correlation",
+    "perf_solver_alltoall",
+    "perf_parallel_campaigns",
+    "fig_fleet_campaign",
+    "perf_frontier",
+    // Last: carries the <2% trace-recording wall-clock gate, which wants
+    // a machine no longer paying first-run page-cache costs.
+    "appc_monitor_overhead",
+];
+
+/// The subset of [`SMOKE_BINS`] the CI parallel-determinism gate re-runs
+/// at 1 vs 2 threads (`validate_bench --list-determinism`): every binary
+/// whose scenario sweeps on the pool, so a width-dependent divergence
+/// would show up as a report diff.
+pub const DETERMINISM_BINS: [&str; 7] = [
+    "fig10_goodput_recovery",
+    "fig_cascade_ablation",
+    "fig_gray_failure",
+    "fig_trace_correlation",
+    "perf_parallel_campaigns",
+    "fig_fleet_campaign",
+    "perf_frontier",
+];
+
+/// Dump a recorded trace as JSON-lines under
+/// `$ASTRAL_TRACE_DIR/<name>.trace.jsonl`, for CI to upload as a
+/// divergence artifact. A no-op returning `None` when `ASTRAL_TRACE_DIR`
+/// is unset (local runs stay clean); IO errors warn and return `None`
+/// rather than failing the scenario.
+pub fn dump_trace_artifact(name: &str, records: &[astral_trace::TraceRecord]) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("ASTRAL_TRACE_DIR")?);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.trace.jsonl"));
+    match std::fs::write(&path, astral_trace::to_jsonl(records)) {
+        Ok(()) => {
+            println!(
+                "trace artifact: {} ({} records)",
+                path.display(),
+                records.len()
+            );
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 /// The machine-readable outcome of one bench scenario — everything the
 /// text output reports, as data.
@@ -83,7 +151,7 @@ impl Report {
     /// reports whose id is not on this list (a typo'd or stale id would
     /// otherwise silently pass schema validation). Keep in sync with the
     /// `Scenario::new` call of each bin.
-    pub const KNOWN_IDS: [&'static str; 28] = [
+    pub const KNOWN_IDS: [&'static str; 29] = [
         "ablation_hash_salt",
         "ablation_rail_design",
         "appa",
@@ -107,6 +175,7 @@ impl Report {
         "fig18",
         "fig19",
         "fig_gray_failure",
+        "fig_trace_correlation",
         "fleet_campaign",
         "perf_frontier",
         "perf_parallel_campaigns",
@@ -321,5 +390,39 @@ mod tests {
             .find(|(k, _)| k.as_str() == Some("id"))
             .map(|(_, v)| v.clone());
         assert_eq!(id, Some(Value::Str("rt".into())));
+    }
+
+    #[test]
+    fn determinism_bins_are_a_subset_of_the_smoke_list() {
+        for bin in DETERMINISM_BINS {
+            assert!(
+                SMOKE_BINS.contains(&bin),
+                "determinism bin `{bin}` is not in SMOKE_BINS — the CI \
+                 determinism gate would re-run a binary the smoke job \
+                 never built"
+            );
+        }
+    }
+
+    #[test]
+    fn known_ids_are_sorted_and_unique() {
+        for w in Report::KNOWN_IDS.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "KNOWN_IDS out of order or duplicated at `{}` / `{}`",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(Report::KNOWN_IDS.contains(&"fig_trace_correlation"));
+    }
+
+    #[test]
+    fn trace_artifact_dump_is_a_noop_without_the_env_var() {
+        // The harness must not scatter files on local runs; the variable
+        // is only set by CI. (Removing it here is safe: tests in this
+        // binary run single-process and nothing else reads it.)
+        std::env::remove_var("ASTRAL_TRACE_DIR");
+        assert_eq!(dump_trace_artifact("noop", &[]), None);
     }
 }

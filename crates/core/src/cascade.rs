@@ -40,7 +40,7 @@ use crate::recovery::{
 };
 use astral_collectives::RunnerConfig;
 use astral_cooling::{Airflow, RackRow};
-use astral_monitor::CauseClass;
+use astral_monitor::{CauseClass, CorrelationPrior};
 use astral_power::{HvdcUnit, RackPower};
 use astral_seer::HazardForecaster;
 use astral_sim::SimRng;
@@ -142,6 +142,17 @@ pub enum CascadeClass {
 }
 
 impl CascadeClass {
+    /// Stable numeric code carried in `SubstrateOnset` trace records
+    /// (`aux`) — part of the serialized trace format; append, never
+    /// renumber. Matches `astral_monitor::Signal::of_record`'s decoding.
+    pub fn code(self) -> u16 {
+        match self {
+            CascadeClass::Power => 0,
+            CascadeClass::Cooling => 1,
+            CascadeClass::Optics => 2,
+        }
+    }
+
     /// The analyzer cause a correct attribution names for this class.
     pub fn expected_cause(self) -> CauseClass {
         match self {
@@ -375,6 +386,35 @@ pub fn try_run_cascade_placed(
     placement: &JobPlacement,
     router: Option<Arc<Router>>,
 ) -> Result<CascadeReport, crate::recovery::PolicyError> {
+    try_run_cascade_placed_prior(
+        topo,
+        policy,
+        spec,
+        script,
+        runner_cfg,
+        placement,
+        router,
+        CorrelationPrior::default(),
+    )
+}
+
+/// [`try_run_cascade_placed`] with a mined [`CorrelationPrior`] ordering
+/// the analyzer's substrate drill-down. The default (inert) prior is
+/// byte-identical to the baseline entry point; an active prior consults
+/// substrate telemetry before cumulative errCQE evidence, fixing the
+/// misattribution of cooling/power cascades that land after any comm
+/// fault in the same run.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_cascade_placed_prior(
+    topo: &Topology,
+    policy: &RecoveryPolicy,
+    spec: &TrainingJobSpec,
+    script: &CascadeScript,
+    runner_cfg: RunnerConfig,
+    placement: &JobPlacement,
+    router: Option<Arc<Router>>,
+    prior: CorrelationPrior,
+) -> Result<CascadeReport, crate::recovery::PolicyError> {
     policy.validate()?;
     let substrate = SubstrateState::new(topo, spec.seed, script.clone());
     let net_script = FaultScript {
@@ -389,6 +429,7 @@ pub fn try_run_cascade_placed(
         substrate,
         placement.clone(),
         router,
+        prior,
     );
     Ok(CascadeReport {
         recovery,
@@ -425,6 +466,20 @@ pub fn try_run_campaign_battery_with(
     runs: &[CampaignRun],
     runner_cfg: RunnerConfig,
 ) -> Result<Vec<CascadeReport>, crate::recovery::PolicyError> {
+    try_run_campaign_battery_prior_with(pool, topo, runs, runner_cfg, CorrelationPrior::default())
+}
+
+/// [`try_run_campaign_battery_with`] with one mined [`CorrelationPrior`]
+/// shared by every run — the with/without-prior comparison harness of the
+/// `fig_trace_correlation` bench. The prior is plain `Copy` data, so the
+/// parallel fan-out stays byte-identical to a serial loop at any width.
+pub fn try_run_campaign_battery_prior_with(
+    pool: &astral_exec::Pool,
+    topo: &Topology,
+    runs: &[CampaignRun],
+    runner_cfg: RunnerConfig,
+    prior: CorrelationPrior,
+) -> Result<Vec<CascadeReport>, crate::recovery::PolicyError> {
     for (policy, _, _) in runs {
         policy.validate()?;
     }
@@ -433,7 +488,7 @@ pub fn try_run_campaign_battery_with(
     let router = Arc::new(Router::new());
     Ok(pool.map(runs, |(policy, spec, campaign)| {
         let script = campaign.materialize();
-        try_run_cascade_placed(
+        try_run_cascade_placed_prior(
             topo,
             policy,
             spec,
@@ -441,6 +496,7 @@ pub fn try_run_campaign_battery_with(
             runner_cfg,
             &JobPlacement::prefix(spec.hosts, spec.spares),
             Some(router.clone()),
+            prior,
         )
         .expect("battery policies validated up front")
     }))

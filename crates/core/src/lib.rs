@@ -34,17 +34,20 @@ pub mod cascade;
 mod infra;
 mod placement;
 pub mod recovery;
+pub mod replay;
 
 pub use cascade::{
-    rack_rows, run_campaign_battery, run_cascade, try_run_campaign_battery_with, try_run_cascade,
-    try_run_cascade_placed, CampaignRun, CascadeAttribution, CascadeClass, CascadeReport,
+    rack_rows, run_campaign_battery, run_cascade, try_run_campaign_battery_prior_with,
+    try_run_campaign_battery_with, try_run_cascade, try_run_cascade_placed,
+    try_run_cascade_placed_prior, CampaignRun, CascadeAttribution, CascadeClass, CascadeReport,
     CascadeScript, FaultCampaign, HazardRates, SubstrateFault,
 };
 pub use infra::{AstralInfrastructure, JobEvaluation};
 pub use placement::{place_job, pods_touched, PlacementPolicy};
 pub use recovery::{
-    run_training, run_training_battery, try_run_training, try_run_training_battery_with,
-    try_run_training_placed, try_run_training_placed_with, AbortReason, FaultClass, FaultScript,
-    Incident, InjectedFault, InjectionRecord, JobPlacement, MitigationAction, PolicyError,
-    RecoveryPolicy, RecoveryReport, TrainingJobSpec, TrainingRun,
+    run_training, run_training_battery, trace_codes, try_run_training,
+    try_run_training_battery_with, try_run_training_placed, try_run_training_placed_with,
+    AbortReason, FaultClass, FaultScript, Incident, InjectedFault, InjectionRecord, JobPlacement,
+    MitigationAction, PolicyError, RecoveryPolicy, RecoveryReport, TrainingJobSpec, TrainingRun,
 };
+pub use replay::{ReplayDivergence, ReplayOutcome, TraceReplayer};

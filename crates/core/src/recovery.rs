@@ -30,13 +30,14 @@
 use crate::cascade::SubstrateState;
 use astral_collectives::{CollectiveRunner, RunnerConfig};
 use astral_monitor::{
-    Analyzer, CauseClass, GrayDetector, GrayDetectorConfig, GrayEdge, GrayEvent, GrayPattern,
-    GraySample, GrayVerdict, HostHealth, JobDesc, OnlineAlarm, OnlineDetector,
+    Analyzer, CauseClass, CorrelationPrior, GrayDetector, GrayDetectorConfig, GrayEdge, GrayEvent,
+    GrayPattern, GraySample, GrayVerdict, HostHealth, JobDesc, OnlineAlarm, OnlineDetector,
     OnlineDetectorConfig, RankProgress, RootCause, Snapshot,
 };
 use astral_net::{FlowEvent, QpId, QpRecord, SolverCounters, EPHEMERAL_BASE};
 use astral_sim::{SimDuration, SimRng};
 use astral_topo::{GpuId, HostId, LinkId, NodeId, NodeKind, Router, Topology};
+use astral_trace::{TraceKind, TraceRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -532,6 +533,74 @@ pub enum MitigationAction {
     Abort,
 }
 
+/// Stable numeric codes for trace-record payloads. These are part of the
+/// serialized trace format (`astral-trace` JSONL) — append new codes,
+/// never renumber existing ones.
+pub mod trace_codes {
+    use super::{FaultClass, InjectedFault, MitigationAction};
+    use astral_monitor::CauseClass;
+
+    /// Code of a mitigation action (`LadderDecision` records, `aux`).
+    pub fn action(a: MitigationAction) -> u16 {
+        match a {
+            MitigationAction::EcmpReroute => 0,
+            MitigationAction::TorFailover => 1,
+            MitigationAction::RestartFromCheckpoint => 2,
+            MitigationAction::FlowReroute => 3,
+            MitigationAction::PowerCapRideThrough => 4,
+            MitigationAction::MicroBatchRebalance => 5,
+            MitigationAction::ProactiveCheckpoint => 6,
+            MitigationAction::LinkProbation => 7,
+            MitigationAction::ProbeReadmit => 8,
+            MitigationAction::ProactiveTorFailover => 9,
+            MitigationAction::Quarantine => 10,
+            MitigationAction::Abort => 11,
+        }
+    }
+
+    /// Code of a diagnosed fault class (`LadderDecision` records, `b`).
+    pub fn fault_class(c: FaultClass) -> u16 {
+        match c {
+            FaultClass::TransientLink => 0,
+            FaultClass::OpticalDualTor => 1,
+            FaultClass::HardHost => 2,
+            FaultClass::FailSlow => 3,
+            FaultClass::FlappingLink => 4,
+            FaultClass::DegradingOptic => 5,
+            FaultClass::GrayStraggler => 6,
+        }
+    }
+
+    /// Code of an analyzer cause (`SubstrateDiagnosis` records, `aux`).
+    pub fn cause(c: CauseClass) -> u16 {
+        match c {
+            CauseClass::HostEnvironment => 0,
+            CauseClass::NicOrLink => 1,
+            CauseClass::GpuHardware => 2,
+            CauseClass::SoftwareOrUserCode => 3,
+            CauseClass::SwitchOrFabric => 4,
+            CauseClass::PcieBottleneck => 5,
+            CauseClass::Congestion => 6,
+            CauseClass::PowerDelivery => 7,
+            CauseClass::Cooling => 8,
+            CauseClass::Unknown => 9,
+        }
+    }
+
+    /// Kind code of a scripted network fault (`FaultInject` records,
+    /// `aux`).
+    pub fn injected_kind(f: &InjectedFault) -> u16 {
+        match f {
+            InjectedFault::TransientLink { .. } => 0,
+            InjectedFault::OpticalUplink { .. } => 1,
+            InjectedFault::HostFailure { .. } => 2,
+            InjectedFault::FlappingLink { .. } => 3,
+            InjectedFault::DegradingOptic { .. } => 4,
+            InjectedFault::SlowHost { .. } => 5,
+        }
+    }
+}
+
 /// One detected-and-handled fault.
 #[derive(Debug, Clone)]
 pub struct Incident {
@@ -599,6 +668,23 @@ pub struct RecoveryReport {
     /// Cumulative rate-solver work over the whole run (fault handling
     /// forces full solves; healthy iterations stay incremental).
     pub solver: SolverCounters,
+    /// The structured event timeline of the run, drained from the
+    /// simulator's ring at completion. Empty unless the run's
+    /// `NetConfig::trace` was set. Excluded from [`Self::fingerprint`]
+    /// (the trace *describes* the run; the fingerprint *is* the run), but
+    /// `astral_trace::fingerprint` over it is itself deterministic and
+    /// pinned by the replay tests.
+    pub trace: Vec<TraceRecord>,
+}
+
+impl Drop for RecoveryReport {
+    /// Park the timeline's allocation for the next traced run on this
+    /// thread (see `astral_trace::recycle`): batteries and benches churn
+    /// through reports, and re-faulting a fresh multi-megabyte trace
+    /// buffer per run is the dominant recording overhead.
+    fn drop(&mut self) {
+        astral_trace::recycle(std::mem::take(&mut self.trace));
+    }
 }
 
 impl RecoveryReport {
@@ -755,6 +841,7 @@ pub fn try_run_training_placed_with(
         None,
         placement.clone(),
         router,
+        CorrelationPrior::default(),
     );
     Ok(engine.run_parts().0)
 }
@@ -818,6 +905,7 @@ pub(crate) fn run_engine_with_substrate(
     substrate: SubstrateState,
     placement: JobPlacement,
     router: Option<Arc<Router>>,
+    prior: CorrelationPrior,
 ) -> (RecoveryReport, SubstrateState) {
     let engine = Engine::new(
         topo,
@@ -828,6 +916,7 @@ pub(crate) fn run_engine_with_substrate(
         Some(substrate),
         placement,
         router,
+        prior,
     );
     let (report, sub) = engine.run_parts();
     (report, sub.expect("substrate passes through the run"))
@@ -932,6 +1021,9 @@ struct Engine<'t> {
     spares_claimed: Vec<HostId>,
     incidents: Vec<Incident>,
     injections: Vec<InjectionRecord>,
+    /// Mined drill-down prior for the substrate analyzer. The default
+    /// (inert) prior reproduces the baseline analyzer byte for byte.
+    prior: CorrelationPrior,
 }
 
 impl<'t> Engine<'t> {
@@ -945,6 +1037,7 @@ impl<'t> Engine<'t> {
         substrate: Option<SubstrateState>,
         placement: JobPlacement,
         router: Option<Arc<Router>>,
+        prior: CorrelationPrior,
     ) -> Self {
         let rails = topo.rails() as u32;
         assert_eq!(
@@ -1009,7 +1102,24 @@ impl<'t> Engine<'t> {
             spares_claimed: Vec::new(),
             incidents: Vec::new(),
             injections: Vec::new(),
+            prior,
         }
+    }
+
+    /// Record an incident and emit its `LadderDecision` trace record —
+    /// every recovery-ladder step, gray verdict, substrate mitigation,
+    /// and proactive checkpoint passes through here, so the trace carries
+    /// the full decision timeline.
+    fn push_incident(&mut self, inc: Incident) {
+        self.runner.sim_mut().trace_record(
+            TraceKind::LadderDecision,
+            trace_codes::action(inc.action),
+            inc.iter,
+            u32::from(trace_codes::fault_class(inc.class)),
+            inc.blamed.len() as u64,
+            inc.cordoned.len() as u64,
+        );
+        self.incidents.push(inc);
     }
 
     fn run_parts(mut self) -> (RecoveryReport, Option<SubstrateState>) {
@@ -1042,7 +1152,7 @@ impl<'t> Engine<'t> {
                     };
                     let incident = self.restart_with_replacement(base, forced);
                     let action = incident.action;
-                    self.incidents.push(incident);
+                    self.push_incident(incident);
                     if action == MitigationAction::Abort {
                         completed = false;
                         break;
@@ -1082,12 +1192,12 @@ impl<'t> Engine<'t> {
                 // physical-layer DCIM may still be alarming on substrate
                 // telemetry (a straggler cascade never aborts a flow).
                 for inc in self.substrate_attend(it) {
-                    self.incidents.push(inc);
+                    self.push_incident(inc);
                 }
                 // Gray verdicts also land here: a gray fault, by
                 // definition, degrades iterations that still complete.
                 for inc in self.gray_attend(it) {
-                    self.incidents.push(inc);
+                    self.push_incident(inc);
                 }
                 self.iter_useful[it as usize] = useful_part;
                 self.useful_s += useful_part;
@@ -1119,7 +1229,7 @@ impl<'t> Engine<'t> {
 
             if !self.policy.enabled {
                 self.abort_reason = Some(AbortReason::RecoveryDisabled);
-                self.incidents.push(Incident {
+                self.push_incident(Incident {
                     iter: it,
                     class: if aborted.is_empty() {
                         FaultClass::FailSlow
@@ -1141,7 +1251,7 @@ impl<'t> Engine<'t> {
             let action = incident.action;
             let class = incident.class;
             let rolled_back_to = self.last_checkpoint;
-            self.incidents.push(incident);
+            self.push_incident(incident);
             if let Some(sub) = self.substrate.as_mut() {
                 sub.note_incident(it, class);
             }
@@ -1163,7 +1273,7 @@ impl<'t> Engine<'t> {
                         // iteration, and waiting for a clean one would
                         // postpone quarantine forever.
                         for inc in self.gray_attend(it) {
-                            self.incidents.push(inc);
+                            self.push_incident(inc);
                         }
                         it += 1;
                         attempt = 0;
@@ -1185,6 +1295,7 @@ impl<'t> Engine<'t> {
             }
         }
 
+        let trace = self.runner.sim_mut().take_trace();
         let report = RecoveryReport {
             completed,
             iters_done: if completed {
@@ -1203,6 +1314,7 @@ impl<'t> Engine<'t> {
             incidents: self.incidents,
             injections: self.injections,
             solver: self.runner.sim().solver_counters(),
+            trace,
         };
         (report, self.substrate)
     }
@@ -1213,7 +1325,25 @@ impl<'t> Engine<'t> {
     /// critical inlet temperature that the DCIM pulls out of service).
     fn substrate_begin_iter(&mut self, it: u32) -> Option<Vec<HostId>> {
         let mut sub = self.substrate.take()?;
+        let attrs_before = sub.attributions.len();
         let tick = sub.begin_iter(it, self.last_iter_s, &self.hosts);
+        // Every cascade that manifested this tick is one SubstrateOnset
+        // record; every DCIM trip is one ForcedCordon record.
+        for attr in &sub.attributions[attrs_before..] {
+            self.runner.sim_mut().trace_record(
+                TraceKind::SubstrateOnset,
+                attr.class.code(),
+                attr.onset_iter,
+                attr.blast_hosts as u32,
+                0,
+                0,
+            );
+        }
+        for &host in &tick.forced_cordon {
+            self.runner
+                .sim_mut()
+                .trace_record(TraceKind::ForcedCordon, 0, host.0, it, 0, 0);
+        }
         self.fail_optics_batch(&tick.kill_uplinks);
         let imminent = sub.hazard_imminent(self.policy.seer_lead_iters, self.last_iter_s);
         if imminent
@@ -1224,7 +1354,7 @@ impl<'t> Engine<'t> {
             // Edge-triggered: one proactive checkpoint per hazard episode.
             self.checkpoint_s += self.policy.checkpoint_cost_s;
             self.last_checkpoint = it;
-            self.incidents.push(Incident {
+            self.push_incident(Incident {
                 iter: it,
                 class: FaultClass::FailSlow,
                 action: MitigationAction::ProactiveCheckpoint,
@@ -1251,7 +1381,15 @@ impl<'t> Engine<'t> {
         }
         let sub = self.substrate.take().expect("checked above");
         let snap = self.build_snapshot(it, &sub);
-        let diag = Analyzer::new().diagnose(&snap, self.runner.sim());
+        let diag = Analyzer::new().diagnose_with_prior(&snap, self.runner.sim(), &self.prior);
+        self.runner.sim_mut().trace_record(
+            TraceKind::SubstrateDiagnosis,
+            trace_codes::cause(diag.cause),
+            it,
+            0,
+            diag.queries as u64,
+            0,
+        );
         let locate_s = self.policy.detection_overhead_s;
         self.downtime_s += locate_s;
         let mut sub = sub;
@@ -1728,6 +1866,14 @@ impl<'t> Engine<'t> {
             self.injected[i] = true;
             let fault = self.script.faults[i];
             let blast = self.inject(i, fault);
+            self.runner.sim_mut().trace_record(
+                TraceKind::FaultInject,
+                trace_codes::injected_kind(&fault),
+                it,
+                blast as u32,
+                0,
+                0,
+            );
             self.injections.push(InjectionRecord {
                 fault,
                 blast_radius: blast,

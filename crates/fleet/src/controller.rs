@@ -25,8 +25,9 @@ use astral_core::{
     SubstrateFault,
 };
 use astral_exec::Pool;
-use astral_sim::{SimRng, Summary};
+use astral_sim::{SimRng, SimTime, Summary};
 use astral_topo::{HostId, Router, Topology};
+use astral_trace::{TraceKind, TraceRecord, TraceRing};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -239,6 +240,42 @@ pub fn try_run_fleet_campaign_with(
     campaign: &FleetCampaign,
     runner_cfg: RunnerConfig,
 ) -> Result<FleetReport, FleetError> {
+    run_campaign_inner(pool, topo, policy, campaign, runner_cfg, None)
+}
+
+/// [`try_run_fleet_campaign_with`] that also records the controller's
+/// scheduling decisions — admissions, preemptions, spare claims — as an
+/// `astral-trace` timeline (ring capacity `trace_capacity`, `0` for the
+/// net-layer default). Wall-clock seconds are stamped as nanoseconds via
+/// [`SimTime::from_secs_f64`], so fleet records sort on the same axis as
+/// job-local ones. Recording is observation only: the report is
+/// byte-identical to the untraced entry point's.
+pub fn try_run_fleet_campaign_traced(
+    pool: &Pool,
+    topo: &Topology,
+    policy: &FleetPolicy,
+    campaign: &FleetCampaign,
+    runner_cfg: RunnerConfig,
+    trace_capacity: usize,
+) -> Result<(FleetReport, Vec<TraceRecord>), FleetError> {
+    let cap = if trace_capacity == 0 {
+        astral_net::DEFAULT_TRACE_CAPACITY
+    } else {
+        trace_capacity
+    };
+    let mut ring = TraceRing::with_capacity(cap);
+    let report = run_campaign_inner(pool, topo, policy, campaign, runner_cfg, Some(&mut ring))?;
+    Ok((report, ring.take()))
+}
+
+fn run_campaign_inner(
+    pool: &Pool,
+    topo: &Topology,
+    policy: &FleetPolicy,
+    campaign: &FleetCampaign,
+    runner_cfg: RunnerConfig,
+    mut trace: Option<&mut TraceRing>,
+) -> Result<FleetReport, FleetError> {
     policy.validate()?;
     if campaign.workload.jobs == 0 {
         return Err(FleetError::EmptyWorkload);
@@ -361,6 +398,19 @@ pub fn try_run_fleet_campaign_with(
                     t.useful_hs += rec.useful_s * nh;
                     t.spares_claimed += rec.spares_claimed.len() as u32;
                     spare_claims_total += rec.spares_claimed.len() as u32;
+                    if !rec.spares_claimed.is_empty() {
+                        if let Some(ring) = trace.as_deref_mut() {
+                            ring.record(
+                                SimTime::from_secs_f64(now).as_nanos(),
+                                TraceKind::SpareClaim,
+                                t.req.class as u16,
+                                id,
+                                rec.spares_claimed.len() as u32,
+                                u64::from(t.spares_claimed),
+                                0,
+                            );
+                        }
+                    }
                     if policy.gray_avoidance {
                         for &h in &rec.quarantined {
                             avoid_until.insert(h, now + policy.avoid_clear_s);
@@ -498,6 +548,17 @@ pub fn try_run_fleet_campaign_with(
                             &mut queue,
                         );
                         preemptions_total += 1;
+                        if let Some(ring) = trace.as_deref_mut() {
+                            ring.record(
+                                SimTime::from_secs_f64(now).as_nanos(),
+                                TraceKind::Preemption,
+                                class as u16,
+                                v,
+                                id,
+                                0,
+                                0,
+                            );
+                        }
                     }
                     placed = engine.place_avoiding(need, policy.placement, &free, &avoid);
                 }
@@ -526,6 +587,17 @@ pub fn try_run_fleet_campaign_with(
                 hosts,
                 spares: granted,
             };
+            if let Some(ring) = trace.as_deref_mut() {
+                ring.record(
+                    SimTime::from_secs_f64(now).as_nanos(),
+                    TraceKind::Admission,
+                    t.req.class as u16,
+                    id,
+                    placement.hosts.len() as u32,
+                    placement.spares.len() as u64,
+                    astral_sim::SimDuration::from_secs_f64(now - t.ready_s).as_nanos(),
+                );
+            }
             // Hosts and spare grant are committed now; the `Running`
             // entry is inserted once the batch has simulated. Safe:
             // admission order is class-descending, so nothing admitted

@@ -6,8 +6,9 @@ use astral_collectives::RunnerConfig;
 use astral_core::{AbortReason, RecoveryPolicy};
 use astral_exec::Pool;
 use astral_fleet::{
-    run_fleet_campaign, try_run_fleet_campaign_with, FleetCampaign, FleetFault, FleetFaultConfig,
-    FleetFaultKind, FleetPolicy, JobStatus, PlacementStrategy, WorkloadConfig,
+    run_fleet_campaign, try_run_fleet_campaign_traced, try_run_fleet_campaign_with, FleetCampaign,
+    FleetFault, FleetFaultConfig, FleetFaultKind, FleetPolicy, JobStatus, PlacementStrategy,
+    WorkloadConfig,
 };
 use astral_topo::{build_astral, AstralParams, Topology};
 use proptest::prelude::*;
@@ -195,6 +196,54 @@ fn fleet_fingerprint_is_pool_width_and_solver_invariant() {
             );
         }
     }
+}
+
+/// The traced controller records its scheduling decisions without
+/// perturbing them: every admission shows up as a timestamped record, the
+/// spare-pool debits match the report, timestamps are monotone, and the
+/// report fingerprint is byte-identical to the untraced entry point's.
+#[test]
+fn traced_campaign_records_scheduling_decisions_without_perturbing_them() {
+    use astral_trace::TraceKind;
+    let t = topo();
+    let campaign = cascade_campaign();
+    let policy = FleetPolicy::default();
+    let untraced = run_fleet_campaign(&t, &policy, &campaign);
+    let (traced, records) = try_run_fleet_campaign_traced(
+        &Pool::with_threads(2),
+        &t,
+        &policy,
+        &campaign,
+        RunnerConfig::default(),
+        0,
+    )
+    .unwrap();
+    assert_eq!(untraced.fingerprint(), traced.fingerprint());
+
+    let admissions = records
+        .iter()
+        .filter(|r| r.kind == TraceKind::Admission as u16)
+        .count();
+    let admitted = traced
+        .jobs
+        .iter()
+        .filter(|j| j.first_admit_s.is_some())
+        .count();
+    assert!(admitted > 0, "campaign admitted nothing");
+    assert!(
+        admissions >= admitted,
+        "{admissions} Admission records for {admitted} admitted tenants"
+    );
+    let claims: u64 = records
+        .iter()
+        .filter(|r| r.kind == TraceKind::SpareClaim as u16)
+        .map(|r| u64::from(r.b))
+        .sum();
+    assert_eq!(claims, u64::from(traced.spare_claims), "claim debits match");
+    assert!(
+        records.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+        "fleet trace timestamps are not monotone"
+    );
 }
 
 proptest! {

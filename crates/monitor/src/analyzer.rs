@@ -15,6 +15,7 @@
 //!   (PFC pauses) and the drain host's PCIe state separate hardware drain
 //!   bottlenecks from plain ECMP congestion.
 
+use crate::correlate::CorrelationPrior;
 use crate::snapshot::{IntProber, Snapshot};
 use crate::taxonomy::{CauseClass, Manifestation};
 use astral_sim::Summary;
@@ -104,6 +105,31 @@ impl Analyzer {
 
     /// Run the full hierarchical correlation over one snapshot.
     pub fn diagnose(&self, snap: &Snapshot, prober: &dyn IntProber) -> Diagnosis {
+        self.diagnose_inner(snap, prober, false)
+    }
+
+    /// [`Analyzer::diagnose`] with a mined [`CorrelationPrior`] ordering
+    /// the drill-down. When the prior says substrate onsets are
+    /// independent of comm faults, substrate telemetry is consulted
+    /// *before* errCQE evidence — errCQE counters are cumulative, so a
+    /// link fault early in a run would otherwise shadow every later
+    /// cooling/power cascade as `NicOrLink`. An inert (default) prior
+    /// reproduces [`Analyzer::diagnose`] byte for byte.
+    pub fn diagnose_with_prior(
+        &self,
+        snap: &Snapshot,
+        prober: &dyn IntProber,
+        prior: &CorrelationPrior,
+    ) -> Diagnosis {
+        self.diagnose_inner(snap, prober, prior.suggests_substrate_first())
+    }
+
+    fn diagnose_inner(
+        &self,
+        snap: &Snapshot,
+        prober: &dyn IntProber,
+        substrate_first: bool,
+    ) -> Diagnosis {
         let mut evidence = Vec::new();
         let mut queries = 0u32;
 
@@ -126,22 +152,40 @@ impl Analyzer {
         );
         queries += 3;
 
-        // Communication evidence takes priority when present: errCQEs and
-        // slow QPs point at the network even when the app-layer symptom is
-        // a hang or stop.
-        if !snap.err_cqe.is_empty() {
-            return self.branch_comm_errcqe(snap, manifestation, evidence, queries);
-        }
+        // The mined prior reorders the next two branches: when substrate
+        // onsets were observed independent of comm faults, the (cheap,
+        // per-host) substrate telemetry check runs before the errCQE
+        // branch, so stale cumulative comm errors cannot shadow a live
+        // cooling/power cascade.
+        if substrate_first {
+            queries += snap.health.len() as u32;
+            if let Some(d) = self.branch_substrate(snap, manifestation, &mut evidence, &mut queries)
+            {
+                return d;
+            }
+            if !snap.err_cqe.is_empty() {
+                return self.branch_comm_errcqe(snap, manifestation, evidence, queries);
+            }
+        } else {
+            // Communication evidence takes priority when present: errCQEs
+            // and slow QPs point at the network even when the app-layer
+            // symptom is a hang or stop.
+            if !snap.err_cqe.is_empty() {
+                return self.branch_comm_errcqe(snap, manifestation, evidence, queries);
+            }
 
-        // ---- Substrate drill-down: correlated power/cooling evidence ----
-        // A substrate cascade manifests as stragglers on *every* host of
-        // one rack row; horizontal comparison alone would blame "software"
-        // (many hosts anomalous at once) or the straggler itself. The
-        // physical layer disambiguates: shared thermal or power-cap
-        // telemetry names the originating substrate, not the symptom.
-        queries += snap.health.len() as u32;
-        if let Some(d) = self.branch_substrate(snap, manifestation, &mut evidence, &mut queries) {
-            return d;
+            // ---- Substrate drill-down: correlated power/cooling evidence ----
+            // A substrate cascade manifests as stragglers on *every* host
+            // of one rack row; horizontal comparison alone would blame
+            // "software" (many hosts anomalous at once) or the straggler
+            // itself. The physical layer disambiguates: shared thermal or
+            // power-cap telemetry names the originating substrate, not the
+            // symptom.
+            queries += snap.health.len() as u32;
+            if let Some(d) = self.branch_substrate(snap, manifestation, &mut evidence, &mut queries)
+            {
+                return d;
+            }
         }
 
         let slow_qps: Vec<_> = snap

@@ -16,6 +16,11 @@
 //! * [`GrayDetector`] — suspicion-scored classification of partial and
 //!   intermittent faults (flapping links, degrading optics, slow hosts)
 //!   that never trip a clean fail-stop alarm.
+//! * [`CorrelationMiner`] — pairwise co-occurrence of anomaly signals
+//!   over sliding windows of a recorded `astral-trace` timeline,
+//!   distilled into the [`CorrelationPrior`] that orders the analyzer's
+//!   drill-down (substrate-first when substrate onsets are independent
+//!   of comm faults).
 //! * [`run_fault_scenario`] — failure injection campaigns over the
 //!   flow-level simulator, standing in for production incidents.
 //! * [`mttlf`] — the Figure 10 time-to-locate model (manual bisection vs
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod analyzer;
+mod correlate;
 mod gray;
 pub mod mttlf;
 pub mod offline;
@@ -37,6 +43,9 @@ mod snapshot;
 mod taxonomy;
 
 pub use analyzer::{Analyzer, AnalyzerConfig, Culprit, Diagnosis, FLAP_EDGES_MIN};
+pub use correlate::{
+    CorrelationConfig, CorrelationMatrix, CorrelationMiner, CorrelationPrior, Signal, SIGNALS,
+};
 pub use gray::{
     GrayDetector, GrayDetectorConfig, GrayEdge, GrayEvent, GrayPattern, GraySample, GrayVerdict,
 };

@@ -47,6 +47,7 @@ pub use hash::{sport_layer, EcmpHasher, SaltMode};
 pub use shard::{DomainPartition, ShardError, ShardedSolver};
 pub use sim::{
     FlowEvent, FlowId, FlowSpec, FlowState, FlowStats, IntHop, IntProbe, NetConfig, NetworkSim,
+    DEFAULT_TRACE_CAPACITY,
 };
 pub use solver::{FairShareSolver, SolverCounters};
 pub use telemetry::{ErrCqe, LinkCounters, QpRecord, Telemetry};

@@ -1,0 +1,63 @@
+//! Property-based tests for the trace format: arbitrary record streams
+//! must survive ring storage, JSONL serialization, and parsing with a
+//! byte-identical fingerprint.
+
+use astral_trace::{fingerprint, parse_jsonl, to_jsonl, TraceRecord, TraceRing};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        any::<u64>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(t_ns, kind, aux, a, (b, v, w))| TraceRecord {
+            t_ns,
+            kind,
+            aux,
+            a,
+            b,
+            v,
+            w,
+        })
+}
+
+proptest! {
+    /// serialize → parse is the identity on record streams, and the
+    /// fingerprint is byte-identical across the trip.
+    #[test]
+    fn jsonl_round_trip_preserves_fingerprint(records in prop::collection::vec(arb_record(), 0..64)) {
+        let text = to_jsonl(&records);
+        let parsed = parse_jsonl(&text).expect("serialized trace must parse");
+        prop_assert_eq!(&parsed, &records);
+        prop_assert_eq!(fingerprint(&parsed), fingerprint(&records));
+    }
+
+    /// A ring with capacity >= stream length retains the stream exactly;
+    /// a smaller ring retains exactly the newest `cap` records and counts
+    /// the rest as dropped.
+    #[test]
+    fn ring_retains_suffix(records in prop::collection::vec(arb_record(), 0..48), cap in 0usize..24) {
+        let mut ring = TraceRing::with_capacity(cap);
+        for r in &records {
+            ring.push(*r);
+        }
+        let keep = records.len().min(cap);
+        let expect = &records[records.len() - keep..];
+        prop_assert_eq!(ring.dropped(), (records.len() - keep) as u64);
+        let got = ring.take();
+        prop_assert_eq!(got.as_slice(), expect);
+        prop_assert_eq!(fingerprint(&got), fingerprint(expect));
+    }
+
+    /// Fingerprints distinguish a stream from any strict prefix (order
+    /// and length are load-bearing).
+    #[test]
+    fn fingerprint_changes_with_length(records in prop::collection::vec(arb_record(), 1..32)) {
+        let full = fingerprint(&records);
+        let prefix = fingerprint(&records[..records.len() - 1]);
+        prop_assert_ne!(full, prefix);
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`cooling`] | airflow thermal model, PUE |
 //! | [`core`] | the orchestration facade |
 //! | [`fleet`] | multi-tenant fleet scheduler: workloads, placement, spare pool |
+//! | [`trace`] | structured event trace: records, ring buffer, JSONL, fingerprints |
 //!
 //! Start with [`core::AstralInfrastructure`] or the `examples/` directory.
 
@@ -40,3 +41,4 @@ pub use astral_power as power;
 pub use astral_seer as seer;
 pub use astral_sim as sim;
 pub use astral_topo as topo;
+pub use astral_trace as trace;
