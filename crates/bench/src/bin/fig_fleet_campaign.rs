@@ -1,7 +1,7 @@
 //! Fleet campaign — multi-tenant scheduling under a correlated cooling
-//! cascade (§2.4 + §6): seeded job arrivals placed by five policy points
-//! along the placement × spare-pool axis, all run against the *same*
-//! fault timeline and workload seeds.
+//! cascade (§2.4 + §6): seeded job arrivals placed by six policy points
+//! along the placement × spare-pool (× admission-estimator) axis, all run
+//! against the *same* fault timeline and workload seeds.
 //!
 //! The headline contrast: first-fit packing with no spare pool lets a
 //! single dying CDU loop strand whole tenants (each cordon exhausts the
@@ -49,8 +49,11 @@ fn cascade_campaign() -> FleetCampaign {
     }
 }
 
-/// The five policy points the sweep visits, naive → full stack.
-fn policies() -> [(&'static str, FleetPolicy); 5] {
+/// The six policy points the sweep visits, naive → full stack → full
+/// stack with Seer-backed admission estimates. The first five are the
+/// pinned baseline contrast; the sixth swaps the fixed 1.25× planning
+/// margin for a cached Seer what-if forecast at admission.
+fn policies() -> [(&'static str, FleetPolicy); 6] {
     let spread_no_pool = FleetPolicy {
         placement: PlacementStrategy::BlastRadiusSpread,
         spare_pool: 0,
@@ -65,12 +68,17 @@ fn policies() -> [(&'static str, FleetPolicy); 5] {
         placement: PlacementStrategy::RailAffine,
         ..FleetPolicy::default()
     };
+    let seer_admit = FleetPolicy {
+        seer_admission: true,
+        ..FleetPolicy::default()
+    };
     [
         ("first_fit/pool0", FleetPolicy::naive_packing()),
         ("first_fit/pool4", first_fit_pool),
         ("rail_affine/pool4", rail_pool),
         ("blast_radius/pool0", spread_no_pool),
         ("blast_radius/pool4", FleetPolicy::default()),
+        ("blast_radius/seer", seer_admit),
     ]
 }
 
@@ -177,6 +185,7 @@ fn main() {
 
     let naive = &reports[0].1;
     let blast = &reports[4].1;
+    let seer = &reports[5].1;
 
     sc.finish(&[
         (
@@ -195,6 +204,14 @@ fn main() {
             format!(
                 "{} fleet spare claims absorbed the cascade's cordons under the full stack",
                 blast.spare_claims
+            ),
+        ),
+        (
+            "seer admission",
+            format!(
+                "swapping the fixed 1.25x planning margin for cached Seer forecasts holds \
+                 goodput at {:.3} (vs {:.3} with the margin) and strands {} tenants",
+                seer.cluster_goodput, blast.cluster_goodput, seer.stranded_tenants
             ),
         ),
         (
@@ -229,5 +246,16 @@ fn main() {
     assert!(
         blast.spare_claims > 0,
         "no spare claims under the full stack"
+    );
+    // The Seer-admission point changes only how wall-clock faults project
+    // onto iteration clocks; the full placement stack must still survive.
+    assert_eq!(
+        seer.stranded_tenants, 0,
+        "seer-admission point stranded tenants"
+    );
+    assert!(
+        seer.cluster_goodput > 0.8,
+        "seer-admission goodput {:.3} ≤ 0.8",
+        seer.cluster_goodput
     );
 }

@@ -17,8 +17,8 @@
 //!   counterpart whose metrics match within per-metric tolerance
 //!   (relative 1e-6 — deterministic metrics reproduce exactly; the slack
 //!   only absorbs cross-machine libm drift). Keys prefixed `wall_clock`
-//!   and keys containing `speedup` are timing, not semantics, and are
-//!   exempt. Exits non-zero on any drift or missing report.
+//!   and keys containing `speedup` or `qps` are timing, not semantics,
+//!   and are exempt. Exits non-zero on any drift or missing report.
 
 use astral_bench::Report;
 use serde::Value;
@@ -83,7 +83,7 @@ const COMPARE_REL_TOL: f64 = 1e-6;
 
 /// Timing-derived metric keys the `--compare` gate must not pin.
 fn compare_exempt(key: &str) -> bool {
-    key.starts_with("wall_clock") || key.contains("speedup")
+    key.starts_with("wall_clock") || key.contains("speedup") || key.contains("qps")
 }
 
 fn numeric(v: &Value) -> Option<f64> {

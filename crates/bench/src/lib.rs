@@ -20,7 +20,7 @@
 //!          ablation_hash_salt ablation_rail_design \
 //!          appa_ecmp_rationale appc_monitor_overhead \
 //!          table1_llama3_operators perf_solver_alltoall \
-//!          perf_parallel_campaigns perf_frontier; do
+//!          perf_parallel_campaigns perf_frontier perf_seer_qps; do
 //!   cargo run --release -p astral-bench --bin $f ;
 //! done
 //! ```
@@ -36,9 +36,11 @@
 //! regressions against committed baselines (`--compare`);
 //! `perf_solver_alltoall` records the
 //! incremental-vs-full solver speedup, `perf_frontier` records the
-//! sharded-vs-global frontier speedup at 8K–512K GPUs, and
+//! sharded-vs-global frontier speedup at 8K–512K GPUs,
 //! `perf_parallel_campaigns` records the serial-vs-parallel
-//! campaign-battery speedup together with
+//! campaign-battery speedup, and `perf_seer_qps` records the what-if
+//! service's query throughput, cache hit rate, and warm-over-cold
+//! speedup — each together with
 //! the byte-identical determinism check (`ASTRAL_THREADS` sets the width).
 //!
 //! Criterion micro-benchmarks (event queue, routing, fairness, the
@@ -54,7 +56,7 @@ use std::time::Instant;
 /// source of truth both CI jobs consume via `validate_bench --list-smoke`
 /// (hand-maintained copies in the workflow file drifted before; now the
 /// workflow asks the binary).
-pub const SMOKE_BINS: [&str; 10] = [
+pub const SMOKE_BINS: [&str; 12] = [
     "fig02_alltoall_fragmentation",
     "fig10_goodput_recovery",
     "fig_cascade_ablation",
@@ -64,6 +66,8 @@ pub const SMOKE_BINS: [&str; 10] = [
     "perf_parallel_campaigns",
     "fig_fleet_campaign",
     "perf_frontier",
+    "fig12_seer_accuracy",
+    "perf_seer_qps",
     // Last: carries the <2% trace-recording wall-clock gate, which wants
     // a machine no longer paying first-run page-cache costs.
     "appc_monitor_overhead",
@@ -73,7 +77,7 @@ pub const SMOKE_BINS: [&str; 10] = [
 /// at 1 vs 2 threads (`validate_bench --list-determinism`): every binary
 /// whose scenario sweeps on the pool, so a width-dependent divergence
 /// would show up as a report diff.
-pub const DETERMINISM_BINS: [&str; 7] = [
+pub const DETERMINISM_BINS: [&str; 9] = [
     "fig10_goodput_recovery",
     "fig_cascade_ablation",
     "fig_gray_failure",
@@ -81,6 +85,8 @@ pub const DETERMINISM_BINS: [&str; 7] = [
     "perf_parallel_campaigns",
     "fig_fleet_campaign",
     "perf_frontier",
+    "fig12_seer_accuracy",
+    "perf_seer_qps",
 ];
 
 /// Dump a recorded trace as JSON-lines under
@@ -151,7 +157,7 @@ impl Report {
     /// reports whose id is not on this list (a typo'd or stale id would
     /// otherwise silently pass schema validation). Keep in sync with the
     /// `Scenario::new` call of each bin.
-    pub const KNOWN_IDS: [&'static str; 29] = [
+    pub const KNOWN_IDS: [&'static str; 30] = [
         "ablation_hash_salt",
         "ablation_rail_design",
         "appa",
@@ -179,6 +185,7 @@ impl Report {
         "fleet_campaign",
         "perf_frontier",
         "perf_parallel_campaigns",
+        "perf_seer_qps",
         "perf_solver_alltoall",
         "table1",
     ];

@@ -18,7 +18,7 @@
 use crate::placement::{PlacementEngine, PlacementError, ROWS_PER_CDU_LOOP};
 use crate::policy::{FleetError, FleetPolicy};
 use crate::report::{FleetReport, JobOutcome, JobStatus};
-use crate::workload::{generate_workload, JobRequest, WorkloadConfig};
+use crate::workload::{generate_workload, template_by_name, JobRequest, WorkloadConfig};
 use astral_collectives::RunnerConfig;
 use astral_core::{
     try_run_cascade_placed, CascadeReport, CascadeScript, InjectedFault, JobPlacement,
@@ -34,8 +34,68 @@ use std::sync::Arc;
 /// Planning estimate of an iteration's wall-clock relative to its compute
 /// time: the controller projects wall-clock fault times onto job-local
 /// iteration clocks with it (communication + overhead margin on top of
-/// `comp_s`).
+/// `comp_s`). With [`FleetPolicy::seer_admission`] on, this fixed margin
+/// is replaced by a cached Seer what-if forecast of the admitted job's
+/// communication-overhead ratio.
 pub const EST_ITER_OVERHEAD: f64 = 1.25;
+
+/// Seer-backed admission estimator ([`FleetPolicy::seer_admission`]): one
+/// what-if service over the campaign fabric whose content-addressed
+/// forecast cache collapses repeat admissions of the same (model, scale)
+/// onto a single pricing — the controller asks thousands of times and
+/// prices each distinct shape once.
+struct SeerAdmission {
+    service: astral_seer::SeerService,
+    rails: u32,
+}
+
+impl SeerAdmission {
+    fn new(topo: &Topology) -> Self {
+        let hb = topo.hb_domain();
+        let rails = (topo.rails() as u32).max(1);
+        let mut net = astral_seer::NetworkSpec::astral();
+        net.hb_domain = hb.gpus_per_domain;
+        net.nvlink_bw_bps = hb.bandwidth_bps;
+        net.rails = rails;
+        let base = astral_seer::ScenarioSpec {
+            model: astral_model::ModelConfig::llama3_8b().with_layers(2),
+            par: astral_model::ParallelismConfig::new(rails, 1, 1),
+            cfg: astral_seer::SeerConfig {
+                gpu: astral_seer::GpuSpec::h100(),
+                net,
+                calibration: astral_seer::Calibration::ideal(),
+            },
+            topo_fingerprint: topo.fingerprint(),
+        };
+        SeerAdmission {
+            service: astral_seer::SeerService::new(base),
+            rails,
+        }
+    }
+
+    /// Estimated iteration wall-clock for an admitted request: the
+    /// request's measured compute time scaled by Seer's forecast of the
+    /// communication-overhead ratio at the admitted TP×DP shape (one host
+    /// rail-width of TP, one DP replica per host). Falls back to the fixed
+    /// [`EST_ITER_OVERHEAD`] margin for models outside the workload
+    /// catalogue, and clamps the ratio to a sane planning band so one
+    /// pathological forecast cannot skew fault projection arbitrarily.
+    fn est_iter_s(&mut self, req: &JobRequest) -> f64 {
+        let Some(model) = template_by_name(&req.model) else {
+            return req.comp_s * EST_ITER_OVERHEAD;
+        };
+        let query = astral_seer::WhatIfQuery::of(vec![
+            astral_seer::WhatIf::SwapModel { model },
+            astral_seer::WhatIf::SetParallelism {
+                tp: self.rails,
+                pp: 1,
+                dp: (req.hosts as u32).max(1),
+            },
+        ]);
+        let ratio = self.service.answer(&query).forecast.comm_overhead_ratio;
+        req.comp_s * ratio.clamp(1.0, 2.0)
+    }
+}
 
 /// The shape of one fleet-level substrate fault (wall-clock scheduled,
 /// unlike the job-local iteration-scheduled [`SubstrateFault`]).
@@ -291,6 +351,10 @@ fn run_campaign_inner(
     let engine = PlacementEngine::new(topo);
     let fleet_faults = campaign.faults.materialize(engine.rows().len());
     let workload = generate_workload(&campaign.workload);
+    // Admission-time iteration estimator: Seer-backed when the policy asks
+    // for it (decisions stay serial — the service's caches make repeats
+    // cheap), the fixed planning margin otherwise.
+    let mut seer_admission = policy.seer_admission.then(|| SeerAdmission::new(topo));
     // One warmed router shared by every segment of the campaign: routing
     // is a pure function of the topology (failures are capacity-level in
     // each segment's private simulator), so sharing is byte-identical to
@@ -582,7 +646,11 @@ fn run_campaign_inner(
             t.first_admit_s.get_or_insert(now);
             waits.push(now - t.ready_s);
             t.segments += 1;
-            let script = project_faults(&engine, &fleet_faults, &hosts, t, now);
+            let est_iter_s = match seer_admission.as_mut() {
+                Some(seer) => seer.est_iter_s(&t.req),
+                None => t.req.comp_s * EST_ITER_OVERHEAD,
+            };
+            let script = project_faults(&engine, &fleet_faults, &hosts, t, now, est_iter_s);
             let placement = JobPlacement {
                 hosts,
                 spares: granted,
@@ -724,8 +792,8 @@ fn project_faults(
     hosts: &[HostId],
     tenant: &Tenant,
     t_start: f64,
+    est_iter_s: f64,
 ) -> CascadeScript {
-    let est_iter_s = tenant.req.comp_s * EST_ITER_OVERHEAD;
     let est_total = tenant.remaining as f64 * est_iter_s;
     let job_rows: BTreeSet<usize> = hosts.iter().filter_map(|&h| engine.row_of(h)).collect();
     let mut faults = Vec::new();

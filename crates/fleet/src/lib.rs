@@ -43,4 +43,4 @@ pub use controller::{
 pub use placement::{PlacementEngine, PlacementError, ROWS_PER_CDU_LOOP};
 pub use policy::{FleetError, FleetPolicy, PlacementStrategy};
 pub use report::{FleetReport, JobOutcome, JobStatus};
-pub use workload::{generate_workload, JobClass, JobRequest, WorkloadConfig};
+pub use workload::{generate_workload, template_by_name, JobClass, JobRequest, WorkloadConfig};

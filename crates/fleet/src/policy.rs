@@ -58,6 +58,12 @@ pub struct FleetPolicy {
     /// Wall-clock after which a suspect host drops off the avoid list and
     /// is scheduled normally again, seconds.
     pub avoid_clear_s: f64,
+    /// Estimate each admitted job's iteration time from a cached Seer
+    /// what-if forecast (communication-overhead ratio of the job's model at
+    /// its admitted scale) instead of the fixed
+    /// [`EST_ITER_OVERHEAD`](crate::EST_ITER_OVERHEAD) planning margin.
+    /// Off by default so existing campaign baselines stay byte-identical.
+    pub seer_admission: bool,
     /// Per-job recovery policy handed to the training engine.
     pub recovery: RecoveryPolicy,
 }
@@ -74,6 +80,7 @@ impl Default for FleetPolicy {
             host_repair_s: 600.0,
             gray_avoidance: true,
             avoid_clear_s: 900.0,
+            seer_admission: false,
             recovery: RecoveryPolicy::default(),
         }
     }

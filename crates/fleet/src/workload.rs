@@ -95,6 +95,14 @@ fn templates() -> Vec<ModelConfig> {
     ]
 }
 
+/// Look up the scaled model template a [`JobRequest::model`] string refers
+/// to (the request stores the template's display name). `None` for names
+/// outside the workload-generator catalogue — callers with external job
+/// sources must handle the miss.
+pub fn template_by_name(name: &str) -> Option<ModelConfig> {
+    templates().into_iter().find(|m| m.name == name)
+}
+
 /// Generate a seeded Poisson-arrival workload. Identical configs yield
 /// identical workloads, byte for byte.
 pub fn generate_workload(cfg: &WorkloadConfig) -> Vec<JobRequest> {

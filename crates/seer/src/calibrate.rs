@@ -78,6 +78,18 @@ impl EfficiencyCurve {
         let x = size.max(1.0).log2().clamp(self.domain.0, self.domain.1);
         self.poly.eval(x).clamp(0.01, 1.0)
     }
+
+    /// The fitted polynomial coefficients, low-to-high — the curve's
+    /// canonical content (used with [`EfficiencyCurve::domain`] by the
+    /// what-if service to derive content-addressed cache digests).
+    pub fn coefficients(&self) -> &[f64] {
+        self.poly.coeffs()
+    }
+
+    /// The fitted `log₂(size)` domain evaluation clamps into.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
 }
 
 /// Fit an efficiency curve from `(size, efficiency)` samples.

@@ -13,6 +13,7 @@ use crate::calibrate::Calibration;
 use crate::suites::{GpuSpec, NetworkSpec};
 use crate::testbed::Testbed;
 use crate::timeline::Timeline;
+use crate::truth::GroundTruth;
 use crate::{Seer, SeerConfig};
 use astral_exec::Pool;
 use astral_model::{build_training_iteration, ModelConfig, ParallelismConfig};
@@ -61,6 +62,11 @@ pub fn run_grid(
 }
 
 /// [`run_grid`] on an explicit pool.
+///
+/// The two Seers and the ground-truth laws are built **once** and shared by
+/// reference across the pool closure — per point only the (deliberately
+/// single-threaded) testbed measurement cache is private, seeded from the
+/// shared laws.
 pub fn run_grid_with(
     pool: &Pool,
     topo: &Topology,
@@ -69,22 +75,23 @@ pub fn run_grid_with(
     cal: &Calibration,
     points: &[GridPoint],
 ) -> Vec<GridOutcome> {
+    let truth = GroundTruth::for_gpu(gpu.clone());
+    let basic_seer = Seer::new(SeerConfig {
+        gpu: gpu.clone(),
+        net: net.clone(),
+        calibration: Calibration::ideal(),
+    });
+    let calibrated_seer = Seer::new(SeerConfig {
+        gpu: gpu.clone(),
+        net: net.clone(),
+        calibration: cal.clone(),
+    });
     pool.map(points, |pt| {
-        let testbed = Testbed::new(topo, gpu.clone());
+        let testbed = Testbed::with_truth(topo, truth.clone());
         let graph = build_training_iteration(&pt.model, &pt.par);
         let reference = testbed.execute(&graph, &pt.par);
-        let basic = Seer::new(SeerConfig {
-            gpu: gpu.clone(),
-            net: net.clone(),
-            calibration: Calibration::ideal(),
-        })
-        .forecast_graph(&graph, &pt.par);
-        let calibrated = Seer::new(SeerConfig {
-            gpu: gpu.clone(),
-            net: net.clone(),
-            calibration: cal.clone(),
-        })
-        .forecast_graph(&graph, &pt.par);
+        let basic = basic_seer.forecast_graph(&graph, &pt.par);
+        let calibrated = calibrated_seer.forecast_graph(&graph, &pt.par);
         GridOutcome {
             label: pt.label.clone(),
             basic_dev: basic.deviation_vs(&reference),

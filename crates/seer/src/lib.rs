@@ -36,16 +36,23 @@ mod calibrate;
 pub mod grid;
 mod hazard;
 mod pricer;
+pub mod service;
 mod suites;
 mod testbed;
 pub mod timeline;
 mod truth;
 
 pub use basic::{t_addition, t_dp_comm, t_mem, t_multiplication, t_pp_comm, t_tp_comm};
-pub use calibrate::{fit_curve, Calibration, CommKind, CommScope, EfficiencyCurve};
+pub use calibrate::{
+    fit_curve, Calibration, CommCalibration, CommKind, CommScope, EfficiencyCurve,
+};
 pub use grid::{run_grid, run_grid_with, GridOutcome, GridPoint};
 pub use hazard::HazardForecaster;
-pub use pricer::{scope_of, span_of, ModelPricer, SeerConfig};
+pub use pricer::{scope_of, span_of, ModelPricer, OpClass, SeerConfig};
+pub use service::{
+    CacheStats, CachedForecast, Digest, LinkClass, ScenarioSpec, SeerService, WhatIf, WhatIfAnswer,
+    WhatIfQuery,
+};
 pub use suites::{CrossDcSpec, GpuSpec, NetworkSpec};
 pub use testbed::Testbed;
 pub use timeline::{schedule, OpPricer, Stream, Timeline, TimelineEntry};

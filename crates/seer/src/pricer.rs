@@ -90,6 +90,47 @@ pub fn scope_of(
     }
 }
 
+/// The memoization class of an operator: which slice of the scenario its
+/// price depends on. Compute/Memory/Fused operators are priced from the
+/// GPU spec and the compute/HBM calibration curves alone; a communication
+/// operator's price additionally depends on the network spec, the comm
+/// calibration table, and the rank strides its [`GroupKind`] derives from
+/// the parallelism layout (`span_of`/`scope_of`). The what-if service keys
+/// its memoized per-operator timings on (class dependency digest, operator
+/// shape), so a change that leaves a class's dependency slice untouched
+/// reuses every priced entry of that class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Compute-stream operator (Compute / Memory / Fused).
+    Exec,
+    /// Communication operator on the given communicator kind.
+    Comm(GroupKind),
+}
+
+impl OpClass {
+    /// Number of distinct classes (for per-class dependency tables).
+    pub const COUNT: usize = 5;
+
+    /// The class of an operator.
+    pub fn of(op: &Operator) -> OpClass {
+        match op.kind {
+            OpKind::Comm { group, .. } => OpClass::Comm(group),
+            _ => OpClass::Exec,
+        }
+    }
+
+    /// Dense index in `0..OpClass::COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Exec => 0,
+            OpClass::Comm(GroupKind::Tp) => 1,
+            OpClass::Comm(GroupKind::Dp) => 2,
+            OpClass::Comm(GroupKind::Ep) => 3,
+            OpClass::Comm(GroupKind::Pp) => 4,
+        }
+    }
+}
+
 /// The model-based pricer.
 #[derive(Debug, Clone)]
 pub struct ModelPricer<'a> {

@@ -46,6 +46,19 @@ impl<'a> Testbed<'a> {
         }
     }
 
+    /// A testbed over pre-built ground-truth laws. Lets grid fan-out share
+    /// one [`GroundTruth`] across pool tasks instead of re-deriving it per
+    /// point.
+    pub fn with_truth(topo: &'a Topology, truth: GroundTruth) -> Self {
+        Testbed {
+            topo,
+            truth,
+            runner_cfg: RunnerConfig::default(),
+            placement: None,
+            comm_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
     /// Use an explicit rank → GPU placement (e.g. a fragmented cross-pod
     /// allocation) instead of the default contiguous one.
     pub fn with_placement(mut self, placement: Vec<GpuId>) -> Self {

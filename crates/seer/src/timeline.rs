@@ -101,6 +101,27 @@ impl Timeline {
         self.entries.iter().filter(|e| e.device == device).collect()
     }
 
+    /// FNV-1a fingerprint over every entry's (op, device, stream, start,
+    /// end) plus the makespan — the bitwise identity of the timeline, used
+    /// to pin cached ≡ uncached forecasts and cross-width determinism.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| h = (h ^ x).wrapping_mul(PRIME);
+        for e in &self.entries {
+            mix(e.op.0 as u64);
+            mix(e.device as u64);
+            mix(match e.stream {
+                Stream::Compute => 0,
+                Stream::Comm => 1,
+            });
+            mix(e.start.as_nanos());
+            mix(e.end.as_nanos());
+        }
+        mix(self.total.as_nanos());
+        h
+    }
+
     /// Per-operator-family total durations (for timeline comparisons like
     /// Figure 12): `(base name, seconds)` sorted by descending time.
     pub fn by_operator_family(&self) -> Vec<(String, f64)> {

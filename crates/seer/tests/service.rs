@@ -1,0 +1,143 @@
+//! Bitwise-pinning properties of the what-if service ([`SeerService`]).
+//!
+//! The service's contract is that caching and parallel pricing are pure
+//! plumbing: for *any* sequence of what-if queries, the cached answer
+//! stream must be bit-for-bit identical to pricing every query cold, and
+//! identical again at every `ASTRAL_THREADS` width. These properties are
+//! asserted with `f64::to_bits` equality — no tolerance, no "close
+//! enough" — over proptest-randomized query sequences.
+
+use astral_exec::Pool;
+use astral_model::{ModelConfig, ParallelismConfig};
+use astral_seer::{
+    LinkClass, NetworkSpec, ScenarioSpec, SeerConfig, SeerService, WhatIf, WhatIfQuery,
+};
+use proptest::prelude::*;
+
+/// A shallow model keeps each cold pricing cheap enough for proptest.
+fn small_model() -> ModelConfig {
+    let mut m = ModelConfig::llama3_8b();
+    m.layers = 4;
+    m.hidden = 2048;
+    m.ffn_hidden = 8192;
+    m.vocab = 32000;
+    m.seq_len = 2048;
+    m
+}
+
+fn base_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        model: small_model(),
+        par: ParallelismConfig::new(4, 2, 4),
+        cfg: SeerConfig::h100_astral_basic(),
+        topo_fingerprint: 0x5eed_7e57,
+    }
+}
+
+/// The fixed what-if vocabulary randomized sequences draw from — one of
+/// each query family the service supports, plus the baseline.
+fn query_mix() -> Vec<WhatIfQuery> {
+    vec![
+        WhatIfQuery::baseline(),
+        WhatIfQuery::one(WhatIf::ScaleDp { factor: 2 }),
+        WhatIfQuery::one(WhatIf::ScaleDp { factor: 4 }),
+        WhatIfQuery::one(WhatIf::SwapTopology {
+            net: NetworkSpec::astral_with_hb_domain(16),
+            topo_fingerprint: 0x5eed_7e57 ^ 16,
+        }),
+        WhatIfQuery::one(WhatIf::SetParallelism {
+            tp: 2,
+            pp: 2,
+            dp: 8,
+        }),
+        WhatIfQuery::one(WhatIf::SetParallelism {
+            tp: 8,
+            pp: 1,
+            dp: 4,
+        }),
+        WhatIfQuery::one(WhatIf::DegradeLinkClass {
+            class: LinkClass::Nvlink,
+            factor: 0.5,
+        }),
+        WhatIfQuery::one(WhatIf::DegradeLinkClass {
+            class: LinkClass::Rail,
+            factor: 0.25,
+        }),
+        WhatIfQuery::of(vec![
+            WhatIf::ScaleDp { factor: 2 },
+            WhatIf::DegradeLinkClass {
+                class: LinkClass::Rail,
+                factor: 0.5,
+            },
+        ]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any randomized query sequence, every cached answer equals the
+    /// cold (uncached) forecast of the same query bitwise, and the whole
+    /// answer stream is byte-identical across pool widths {1, 2, 8}.
+    #[test]
+    fn cached_answers_match_cold_bitwise_at_every_width(
+        picks in proptest::collection::vec(0usize..9, 1..24),
+        batch in 1usize..8,
+    ) {
+        let mix = query_mix();
+        let queries: Vec<WhatIfQuery> = picks.iter().map(|&i| mix[i].clone()).collect();
+
+        // Reference: every query priced cold, no cache involved.
+        let cold_svc = SeerService::new(base_spec());
+        let cold: Vec<u64> = queries
+            .iter()
+            .map(|q| cold_svc.forecast_uncached(q).bits_fingerprint())
+            .collect();
+
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::with_threads(threads);
+            let mut svc = SeerService::new(base_spec());
+            let mut served: Vec<u64> = Vec::with_capacity(queries.len());
+            for chunk in queries.chunks(batch) {
+                for answer in svc.answer_batch(&pool, chunk) {
+                    served.push(answer.forecast.bits_fingerprint());
+                }
+            }
+            prop_assert_eq!(
+                &served,
+                &cold,
+                "width {} served answers diverged from cold forecasts",
+                threads
+            );
+        }
+    }
+
+    /// Replaying the same sequence against a warm service is all hits and
+    /// still bitwise identical to the first pass.
+    #[test]
+    fn warm_replay_is_all_hits_and_bitwise_stable(
+        picks in proptest::collection::vec(0usize..9, 1..16),
+    ) {
+        let mix = query_mix();
+        let queries: Vec<WhatIfQuery> = picks.iter().map(|&i| mix[i].clone()).collect();
+        let pool = Pool::with_threads(2);
+        let mut svc = SeerService::new(base_spec());
+
+        let first: Vec<u64> = svc
+            .answer_batch(&pool, &queries)
+            .iter()
+            .map(|a| a.forecast.bits_fingerprint())
+            .collect();
+        let before = svc.stats();
+        let replay = svc.answer_batch(&pool, &queries);
+        let after = svc.stats();
+
+        let second: Vec<u64> = replay.iter().map(|a| a.forecast.bits_fingerprint()).collect();
+        prop_assert_eq!(&second, &first, "warm replay diverged from first pass");
+        prop_assert!(replay.iter().all(|a| a.cache_hit), "warm replay missed the cache");
+        prop_assert_eq!(
+            after.forecast_misses, before.forecast_misses,
+            "warm replay priced a scenario again"
+        );
+    }
+}

@@ -286,6 +286,42 @@ impl Topology {
         self.hosts.len() as u32 * self.rails as u32
     }
 
+    /// FNV-1a content fingerprint of the fabric: architecture label,
+    /// rail/HB-domain specs, and every link's endpoints/capacity/latency
+    /// plus every host's placement coordinates. Unlike [`Topology::epoch`]
+    /// (a local mutation counter), the fingerprint is a pure function of
+    /// the structure — two independently built identical fabrics agree —
+    /// so it can serve as a content-addressed cache key (e.g. the what-if
+    /// service's scenario digest).
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix_bytes = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h = (*h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        mix_bytes(&mut h, self.arch.as_bytes());
+        mix_bytes(&mut h, &[self.rails]);
+        mix_bytes(&mut h, &self.hb.gpus_per_domain.to_le_bytes());
+        mix_bytes(&mut h, &self.hb.bandwidth_bps.to_bits().to_le_bytes());
+        mix_bytes(&mut h, &self.hb.latency.as_nanos().to_le_bytes());
+        mix_bytes(&mut h, &(self.links.len() as u64).to_le_bytes());
+        for l in &self.links {
+            mix_bytes(&mut h, &l.src.0.to_le_bytes());
+            mix_bytes(&mut h, &l.dst.0.to_le_bytes());
+            mix_bytes(&mut h, &l.bandwidth_bps.to_bits().to_le_bytes());
+            mix_bytes(&mut h, &l.latency.as_nanos().to_le_bytes());
+        }
+        mix_bytes(&mut h, &(self.hosts.len() as u64).to_le_bytes());
+        for host in &self.hosts {
+            mix_bytes(&mut h, &host.dc.0.to_le_bytes());
+            mix_bytes(&mut h, &host.pod.to_le_bytes());
+            mix_bytes(&mut h, &host.block.to_le_bytes());
+        }
+        h
+    }
+
     /// Host a GPU lives on. GPUs are numbered host-major:
     /// `gpu = host * rails + rail`.
     pub fn gpu_host(&self, gpu: GpuId) -> HostId {

@@ -19,7 +19,7 @@
 //! | [`net`] | flow-level RDMA simulation, ECMP controller, telemetry |
 //! | [`collectives`] | NCCL-style schedules and the collective runner |
 //! | [`model`] | LLM configs, parallelism, operator graphs |
-//! | [`seer`] | forecasting, calibration, the simulated testbed |
+//! | [`seer`] | forecasting, calibration, the cached what-if service |
 //! | [`monitor`] | layered telemetry, analyzer, failure injection |
 //! | [`power`] | HVDC, power traces, renewables |
 //! | [`cooling`] | airflow thermal model, PUE |
